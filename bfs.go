@@ -1,0 +1,204 @@
+package msbfs
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// NoLevel marks an unreachable vertex in recorded level arrays.
+const NoLevel = core.NoLevel
+
+// Options configures BFS runs. The zero value runs single-threaded with the
+// paper's default task size and direction heuristics.
+type Options struct {
+	// Workers is the number of parallel workers (<=0: 1). One multi-source
+	// batch saturates all workers; no extra sources are needed.
+	Workers int
+	// BatchWords is the multi-source bitset width in 64-bit words
+	// (1..8 = 64..512 concurrent BFSs per batch; <=0: 1).
+	BatchWords int
+	// ByteState switches SMS-PBFS from the bit to the byte state
+	// representation (less worker contention, more cache footprint).
+	ByteState bool
+	// TopDownOnly / BottomUpOnly force a traversal direction; default is
+	// the Beamer-style heuristic.
+	TopDownOnly, BottomUpOnly bool
+	// MaxDepth, when positive, stops each traversal after that many hops;
+	// only vertices within MaxDepth hops are discovered.
+	MaxDepth int
+	// RecordLevels makes results carry per-source distance arrays
+	// (sources x vertices x 4 bytes of memory).
+	RecordLevels bool
+	// CollectIterStats gathers per-iteration timing and workload detail.
+	CollectIterStats bool
+}
+
+func (o Options) toCore() core.Options {
+	if o.BatchWords > 8 {
+		panic("msbfs: BatchWords must be in [1, 8] (64 to 512 concurrent BFSs)")
+	}
+	c := core.Options{
+		Workers:          o.Workers,
+		BatchWords:       o.BatchWords,
+		MaxDepth:         o.MaxDepth,
+		RecordLevels:     o.RecordLevels,
+		CollectIterStats: o.CollectIterStats,
+	}
+	switch {
+	case o.TopDownOnly:
+		c.Direction = core.TopDownOnly
+	case o.BottomUpOnly:
+		c.Direction = core.BottomUpOnly
+	}
+	return c
+}
+
+func (o Options) repr() core.StateRepr {
+	if o.ByteState {
+		return core.ByteState
+	}
+	return core.BitState
+}
+
+// IterationStat describes one BFS iteration (depth level).
+type IterationStat = metrics.IterationStat
+
+// Result is the outcome of a single-source BFS.
+type Result struct {
+	// Levels[v] is the hop distance from the source (NoLevel if
+	// unreachable); nil unless Options.RecordLevels.
+	Levels []int32
+	// VisitedVertices counts reached vertices, including the source.
+	VisitedVertices int64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// Iterations carries per-iteration detail when requested.
+	Iterations []IterationStat
+}
+
+// MultiResult is the outcome of a multi-source BFS.
+type MultiResult struct {
+	// Sources are the processed sources, in input order.
+	Sources []int
+	// Levels[i] is the distance array of Sources[i]; nil unless
+	// Options.RecordLevels.
+	Levels [][]int32
+	// VisitedStates counts (source, vertex) discoveries.
+	VisitedStates int64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// Iterations carries per-iteration detail when requested.
+	Iterations []IterationStat
+}
+
+// BFS runs the parallel single-source SMS-PBFS algorithm from source.
+func (g *Graph) BFS(source int, opt Options) *Result {
+	g.checkSource(source)
+	r := core.SMSPBFS(g.g, source, opt.repr(), opt.toCore())
+	return &Result{
+		Levels:          r.Levels,
+		VisitedVertices: r.VisitedVertices,
+		Elapsed:         r.Stats.Elapsed,
+		Iterations:      r.Stats.Iterations,
+	}
+}
+
+// autoBatchWords picks the smallest bitset width covering all sources in
+// one batch (capped at the 512-BFS maximum), so callers who leave
+// BatchWords zero get full work sharing without tuning.
+func autoBatchWords(numSources int) int {
+	words := (numSources + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	if words > 8 {
+		words = 8
+	}
+	return words
+}
+
+// MultiBFS runs the parallel multi-source MS-PBFS algorithm. Sources are
+// processed in batches of up to 64*BatchWords concurrent traversals that
+// share common work; all workers cooperate on every batch. When BatchWords
+// is zero the width is sized to fit all sources in one batch (up to 512).
+func (g *Graph) MultiBFS(sources []int, opt Options) *MultiResult {
+	for _, s := range sources {
+		g.checkSource(s)
+	}
+	if opt.BatchWords <= 0 {
+		opt.BatchWords = autoBatchWords(len(sources))
+	}
+	r := core.MSPBFS(g.g, sources, opt.toCore())
+	return &MultiResult{
+		Sources:       r.Sources,
+		Levels:        r.Levels,
+		VisitedStates: r.VisitedStates,
+		Elapsed:       r.Stats.Elapsed,
+		Iterations:    r.Stats.Iterations,
+	}
+}
+
+// MultiBFSVisitor is like MultiBFS but streams every (source, vertex,
+// depth) discovery to visit instead of materializing level arrays; the
+// callback runs concurrently on worker goroutines and must only touch
+// workerID-partitioned state. This is the memory-frugal path for
+// whole-graph analytics such as closeness centrality.
+func (g *Graph) MultiBFSVisitor(sources []int, opt Options,
+	visit func(workerID, sourceIdx, vertex, depth int)) *MultiResult {
+	for _, s := range sources {
+		g.checkSource(s)
+	}
+	if opt.BatchWords <= 0 {
+		opt.BatchWords = autoBatchWords(len(sources))
+	}
+	c := opt.toCore()
+	c.OnVisit = visit
+	r := core.MSPBFS(g.g, sources, c)
+	return &MultiResult{
+		Sources:       r.Sources,
+		Levels:        r.Levels,
+		VisitedStates: r.VisitedStates,
+		Elapsed:       r.Stats.Elapsed,
+		Iterations:    r.Stats.Iterations,
+	}
+}
+
+// NoParent marks a vertex outside the BFS tree in parent arrays.
+const NoParent = core.NoParent
+
+// DeriveParents computes a BFS parent tree from a level array (as returned
+// by BFS or MultiBFS with RecordLevels): the parent of a vertex at depth d
+// is its first neighbor at depth d-1, the source is its own parent, and
+// unreached vertices get NoParent — the Graph500 conventions.
+func (g *Graph) DeriveParents(levels []int32) []int64 {
+	return core.DeriveParents(g.g, levels, nil)
+}
+
+// ValidateBFSTree checks a (levels, parents) BFS result against the
+// Graph500 benchmark's validation rules: correct root, tree edges exist,
+// tree levels consistent, and no graph edge spans more than one level or
+// crosses the visited boundary. It returns nil for a valid result.
+func (g *Graph) ValidateBFSTree(source int, levels []int32, parents []int64) error {
+	g.checkSource(source)
+	return core.ValidateGraph500(g.g, source, levels, parents)
+}
+
+// SequentialBFS runs the textbook FIFO-queue BFS; useful as a baseline and
+// for verifying results. It always records levels.
+func (g *Graph) SequentialBFS(source int) *Result {
+	g.checkSource(source)
+	r := core.ReferenceBFS(g.g, source)
+	return &Result{
+		Levels:          r.Levels,
+		VisitedVertices: r.VisitedVertices,
+		Elapsed:         r.Stats.Elapsed,
+	}
+}
+
+func (g *Graph) checkSource(s int) {
+	if s < 0 || s >= g.g.NumVertices() {
+		panic("msbfs: source vertex out of range")
+	}
+}

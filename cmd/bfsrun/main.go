@@ -1,0 +1,222 @@
+// Command bfsrun executes one BFS workload on a graph file (or a generated
+// Kronecker graph) with a chosen algorithm and prints timing, GTEPS, and
+// optional per-iteration detail. It is the manual-experimentation
+// counterpart to bfsbench's fixed experiments.
+//
+// Usage:
+//
+//	bfsrun -graph kron20.bin -algo mspbfs -sources 64 -workers 8
+//	bfsrun -scale 18 -algo smspbfs-bit -sources 4 -iterstats
+//	bfsrun -scale 16 -algo beamer-gapbs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/metrics"
+)
+
+var algoNames = []string{
+	"mspbfs", "mspbfs-seq", "mspbfs-persocket", "msbfs", "msbfs-percore",
+	"smspbfs-bit", "smspbfs-byte", "queue", "ibfs",
+	"beamer-gapbs", "beamer-sparse", "beamer-dense", "reference",
+}
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph file (binary, or .txt/.el edge list); empty generates a Kronecker graph")
+		scale      = flag.Int("scale", 16, "Kronecker scale when generating")
+		algo       = flag.String("algo", "mspbfs", fmt.Sprintf("algorithm: %v", algoNames))
+		numSources = flag.Int("sources", 64, "number of BFS sources")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker threads")
+		batchWords = flag.Int("batchwords", 1, "multi-source bitset width in 64-bit words (1..8)")
+		labeling   = flag.String("label", "striped", "vertex labeling: none, random, ordered, striped")
+		iterstats  = flag.Bool("iterstats", false, "print per-iteration statistics")
+		seed       = flag.Uint64("seed", 42, "source selection / generation seed")
+		sockets    = flag.Int("sockets", 2, "socket count for mspbfs-persocket")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the BFS run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
+	)
+	flag.Parse()
+
+	g, err := loadOrGenerate(*graphPath, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+	if *labeling != "none" {
+		scheme, err := parseScheme(*labeling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		g, _ = label.Apply(g, scheme, label.Params{Workers: *workers, TaskSize: 512, Seed: *seed})
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges (%.1f MB)\n",
+		g.NumVertices(), g.NumEdges(), float64(g.MemoryBytes())/(1<<20))
+
+	sources := core.RandomSources(g, *numSources, *seed)
+	if len(sources) == 0 {
+		fmt.Fprintln(os.Stderr, "bfsrun: graph has no usable sources")
+		os.Exit(1)
+	}
+	ec := metrics.NewEdgeCounter(g)
+	opt := core.Options{
+		Workers:          *workers,
+		BatchWords:       *batchWords,
+		CollectIterStats: *iterstats,
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	elapsed, iters, err := run(*algo, g, sources, opt, *sockets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	edges := ec.EdgesForAll(sources)
+	fmt.Printf("algorithm: %s, %d sources, %d workers\n", *algo, len(sources), *workers)
+	fmt.Printf("elapsed:   %v (%.3f ms/source)\n",
+		elapsed.Round(time.Microsecond),
+		float64(elapsed)/float64(time.Millisecond)/float64(len(sources)))
+	fmt.Printf("GTEPS:     %.3f\n", metrics.GTEPS(edges, elapsed))
+	if *iterstats {
+		fmt.Printf("%-5s %-10s %12s %12s %12s %s\n", "iter", "direction", "frontier", "updated", "scanned", "time")
+		for _, it := range iters {
+			dir := "top-down"
+			if it.BottomUp {
+				dir = "bottom-up"
+			}
+			fmt.Printf("%-5d %-10s %12d %12d %12d %v\n",
+				it.Iteration, dir, it.FrontierVertices, it.UpdatedStates, it.ScannedEdges,
+				it.Duration.Round(time.Microsecond))
+		}
+	}
+}
+
+func loadOrGenerate(path string, scale int, seed uint64) (*graph.Graph, error) {
+	if path == "" {
+		return gen.Kronecker(gen.Graph500Params(scale, seed)), nil
+	}
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".el") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, _, err := graph.LoadEdgeList(f)
+		return g, err
+	}
+	return graph.LoadFile(path)
+}
+
+func parseScheme(s string) (label.Scheme, error) {
+	switch s {
+	case "random":
+		return label.Random, nil
+	case "ordered":
+		return label.DegreeOrdered, nil
+	case "striped":
+		return label.Striped, nil
+	default:
+		return 0, fmt.Errorf("unknown labeling %q", s)
+	}
+}
+
+func run(algo string, g *graph.Graph, sources []int, opt core.Options, sockets int) (time.Duration, []metrics.IterationStat, error) {
+	switch algo {
+	case "mspbfs":
+		r := core.MSPBFS(g, sources, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "mspbfs-seq":
+		r := core.MSPBFSPerSocket(g, sources, opt.Workers, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "mspbfs-persocket":
+		r := core.MSPBFSPerSocket(g, sources, sockets, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "msbfs":
+		r := core.MSBFS(g, sources, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "msbfs-percore":
+		r := core.MSBFSPerCore(g, sources, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "smspbfs-bit", "smspbfs-byte":
+		repr := core.BitState
+		if algo == "smspbfs-byte" {
+			repr = core.ByteState
+		}
+		r := core.SMSPBFSAll(g, sources, repr, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "ibfs":
+		r := core.IBFS(g, sources, opt)
+		return r.Stats.Elapsed, r.Stats.Iterations, nil
+	case "queue":
+		var total time.Duration
+		var iters []metrics.IterationStat
+		for _, s := range sources {
+			r := core.QueueBFS(g, s, opt)
+			total += r.Stats.Elapsed
+			iters = append(iters, r.Stats.Iterations...)
+		}
+		return total, iters, nil
+	case "beamer-gapbs", "beamer-sparse", "beamer-dense":
+		v := map[string]core.BeamerVariant{
+			"beamer-gapbs":  core.BeamerGAPBS,
+			"beamer-sparse": core.BeamerSparse,
+			"beamer-dense":  core.BeamerDense,
+		}[algo]
+		var total time.Duration
+		var iters []metrics.IterationStat
+		for _, s := range sources {
+			r := core.Beamer(g, s, v, opt)
+			total += r.Stats.Elapsed
+			iters = append(iters, r.Stats.Iterations...)
+		}
+		return total, iters, nil
+	case "reference":
+		var total time.Duration
+		for _, s := range sources {
+			total += core.ReferenceBFS(g, s).Stats.Elapsed
+		}
+		return total, nil, nil
+	default:
+		return 0, nil, fmt.Errorf("unknown algorithm %q (known: %v)", algo, algoNames)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/csv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func squareGraph() *graph.Graph {
+	return graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+}
+
+func TestComputeClosenessSquare(t *testing.T) {
+	g := squareGraph()
+	// Every vertex of a 4-cycle: reaches 3 others at distances 1,1,2.
+	got := computeCloseness(g, []int{0, 1, 2, 3}, 2, 1)
+	want := 3.0 / 4.0 // (3/4)*(3/3)
+	for v, c := range got {
+		if math.Abs(c-want) > 1e-12 {
+			t.Errorf("closeness[%d] = %v, want %v", v, c, want)
+		}
+	}
+}
+
+func TestComputeBetweennessSquare(t *testing.T) {
+	g := squareGraph()
+	b := computeBetweenness(g, []int{0, 1, 2, 3}, 2)
+	for v, c := range b {
+		if math.Abs(c-0.5) > 1e-9 {
+			t.Errorf("betweenness[%d] = %v, want 0.5", v, c)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	g := squareGraph()
+	vertices := []int{0, 2}
+	closeness := computeCloseness(g, vertices, 1, 1)
+	inv := []graph.VertexID{0, 1, 2, 3}
+	path := filepath.Join(t.TempDir(), "scores.csv")
+	if err := writeCSV(path, vertices, closeness, nil, inv); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "vertex" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestLoadGenerates(t *testing.T) {
+	g, err := load("", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Errorf("generated %d vertices", g.NumVertices())
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.bin"), 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command graph500 runs the industry-standard Graph500 BFS benchmark flow
+// referenced throughout the paper: generate a Kronecker graph at the given
+// scale, pick 64 random search keys, run a timed BFS for each, validate
+// every result against the official rules, and report the per-search TEPS
+// plus their harmonic mean (the benchmark's reported statistic).
+//
+// Usage:
+//
+//	graph500 -scale 20 -algo smspbfs        # single-source, one key at a time
+//	graph500 -scale 20 -algo mspbfs         # all 64 keys in one multi-source pass
+//	graph500 -scale 16 -skip-validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/label"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "Kronecker scale (log2 vertices)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (Graph500: 16)")
+		roots      = flag.Int("roots", 64, "number of search keys (Graph500: 64)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker threads")
+		algo       = flag.String("algo", "smspbfs", "smspbfs (one timed BFS per key) or mspbfs (one multi-source pass)")
+		seed       = flag.Uint64("seed", 2, "generator + key selection seed")
+		skipVal    = flag.Bool("skip-validation", false, "skip result validation")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating Kronecker graph: scale %d, edge factor %d...\n", *scale, *edgeFactor)
+	genStart := time.Now()
+	p := gen.Graph500Params(*scale, *seed)
+	p.EdgeFactor = *edgeFactor
+	g0 := gen.Kronecker(p)
+	g, _ := label.Apply(g0, label.Striped, label.Params{Workers: *workers, TaskSize: 512, Seed: *seed})
+	fmt.Printf("construction: %v (%d vertices, %d edges)\n",
+		time.Since(genStart).Round(time.Millisecond), g.NumVertices(), g.NumEdges())
+
+	ec := metrics.NewEdgeCounter(g)
+	keys := core.RandomSources(g, *roots, *seed+1)
+	pool := sched.NewPool(*workers, false)
+	defer pool.Close()
+	opt := core.Options{Workers: *workers, Pool: pool, RecordLevels: true}
+
+	teps := make([]float64, 0, len(keys))
+	validated := 0
+
+	switch *algo {
+	case "smspbfs":
+		e := core.NewSMSPBFSEngine(g, core.BitState, opt)
+		for i, key := range keys {
+			res := e.Run(key)
+			t := metrics.GTEPS(ec.EdgesFor(key), res.Stats.Elapsed) * 1e9
+			teps = append(teps, t)
+			if !*skipVal {
+				parents := core.DeriveParents(g, res.Levels, pool)
+				if err := core.ValidateGraph500(g, key, res.Levels, parents); err != nil {
+					fmt.Fprintf(os.Stderr, "graph500: search %d INVALID: %v\n", i, err)
+					os.Exit(1)
+				}
+				validated++
+			}
+		}
+	case "mspbfs":
+		start := time.Now()
+		res := core.MSPBFS(g, keys, opt)
+		elapsed := time.Since(start)
+		// The multi-source pass times all keys together; attribute time
+		// proportionally to each key's component edges for the per-search
+		// statistics (the aggregate GTEPS is what the paper reports).
+		totalEdges := ec.EdgesForAll(keys)
+		for i, key := range keys {
+			share := float64(ec.EdgesFor(key)) / float64(totalEdges)
+			teps = append(teps, float64(ec.EdgesFor(key))/(elapsed.Seconds()*share))
+			if !*skipVal {
+				parents := core.DeriveParents(g, res.Levels[i], pool)
+				if err := core.ValidateGraph500(g, key, res.Levels[i], parents); err != nil {
+					fmt.Fprintf(os.Stderr, "graph500: search %d INVALID: %v\n", i, err)
+					os.Exit(1)
+				}
+				validated++
+			}
+		}
+		fmt.Printf("aggregate multi-source rate: %.3f GTEPS\n", metrics.GTEPS(totalEdges, elapsed))
+	default:
+		fmt.Fprintf(os.Stderr, "graph500: unknown -algo %q\n", *algo)
+		os.Exit(1)
+	}
+
+	if !*skipVal {
+		fmt.Printf("validation: %d/%d searches passed\n", validated, len(keys))
+	}
+	printStats(teps)
+}
+
+// printStats reports the Graph500 summary statistics over per-search TEPS:
+// min/quartiles/max, and the harmonic mean (the official figure of merit).
+func printStats(teps []float64) {
+	if len(teps) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), teps...)
+	sort.Float64s(sorted)
+	q := func(f float64) float64 { return sorted[int(f*float64(len(sorted)-1))] }
+	var invSum float64
+	for _, t := range teps {
+		if t > 0 {
+			invSum += 1 / t
+		}
+	}
+	harmonic := float64(len(teps)) / invSum
+	fmt.Printf("min_TEPS:            %.3e\n", sorted[0])
+	fmt.Printf("firstquartile_TEPS:  %.3e\n", q(0.25))
+	fmt.Printf("median_TEPS:         %.3e\n", q(0.5))
+	fmt.Printf("thirdquartile_TEPS:  %.3e\n", q(0.75))
+	fmt.Printf("max_TEPS:            %.3e\n", sorted[len(sorted)-1])
+	fmt.Printf("harmonic_mean_TEPS:  %.3e\n", harmonic)
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+func TestPrintStatsHarmonicMean(t *testing.T) {
+	// printStats must not panic on edge inputs.
+	printStats(nil)
+	printStats([]float64{1e6})
+	printStats([]float64{1e6, 2e6, 4e6, 0})
+}

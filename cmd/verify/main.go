@@ -1,0 +1,144 @@
+// Command verify is a differential correctness harness: it runs every BFS
+// algorithm in the library on randomized graphs and compares distances,
+// visit counts, and Graph500 tree validity against the textbook oracle.
+// Intended for CI and for soak testing after algorithm changes.
+//
+// Usage:
+//
+//	verify                  # default: 20 rounds of randomized graphs
+//	verify -rounds 200 -seed 7
+//	verify -scale 14        # fixed-size Kronecker instead of mixed suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+func main() {
+	var (
+		rounds  = flag.Int("rounds", 20, "number of randomized rounds")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		scale   = flag.Int("scale", 0, "if >0, verify only Kronecker graphs at this scale")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker threads for the parallel algorithms")
+	)
+	flag.Parse()
+
+	failures := 0
+	for round := 0; round < *rounds; round++ {
+		s := *seed + uint64(round)*101
+		g, desc := pickGraph(round, *scale, s)
+		if err := verifyGraph(g, desc, s, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL round %d (%s, seed %d): %v\n", round, desc, s, err)
+			failures++
+		} else {
+			fmt.Printf("ok   round %d: %s (%d vertices, %d edges)\n",
+				round, desc, g.NumVertices(), g.NumEdges())
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "verify: %d/%d rounds failed\n", failures, *rounds)
+		os.Exit(1)
+	}
+	fmt.Printf("verify: all %d rounds passed\n", *rounds)
+}
+
+// pickGraph rotates through the generator suite with randomized parameters.
+func pickGraph(round, scale int, seed uint64) (*graph.Graph, string) {
+	if scale > 0 {
+		return gen.Kronecker(gen.Graph500Params(scale, seed)), fmt.Sprintf("kronecker-%d", scale)
+	}
+	switch round % 5 {
+	case 0:
+		sc := 8 + round%4
+		return gen.Kronecker(gen.Graph500Params(sc, seed)), fmt.Sprintf("kronecker-%d", sc)
+	case 1:
+		n := 500 + (round*37)%2000
+		return gen.LDBC(gen.LDBCDefaults(n, seed)), fmt.Sprintf("ldbc-%d", n)
+	case 2:
+		n := 400 + (round*53)%1500
+		return gen.Uniform(n, 2+round%8, seed), fmt.Sprintf("uniform-%d", n)
+	case 3:
+		n := 400 + (round*71)%1500
+		return gen.PowerLaw(gen.PowerLawParams{N: n, Exponent: 1.9 + float64(round%5)/10, MinDegree: 1, Seed: seed}),
+			fmt.Sprintf("powerlaw-%d", n)
+	default:
+		n := 400 + (round*91)%1500
+		return gen.Web(gen.WebParams{N: n, AvgDegree: 6, LocalityWindow: 16, Seed: seed}), fmt.Sprintf("web-%d", n)
+	}
+}
+
+func verifyGraph(g0 *graph.Graph, desc string, seed uint64, workers int) error {
+	// Randomly relabel so the algorithms never see generator order.
+	schemes := []label.Scheme{label.Identity, label.Random, label.DegreeOrdered, label.Striped}
+	g, _ := label.Apply(g0, schemes[int(seed)%len(schemes)],
+		label.Params{Workers: workers, TaskSize: 512, Seed: seed})
+
+	sources := core.RandomSources(g, 66, seed+9)
+	if len(sources) == 0 {
+		return nil // edgeless; nothing to verify
+	}
+	want := make([][]int32, len(sources))
+	for i, s := range sources {
+		want[i] = core.ReferenceLevels(g, s)
+	}
+	opt := core.Options{Workers: workers, RecordLevels: true, Direction: core.Direction(seed % 3)}
+
+	// Multi-source algorithms.
+	multi := map[string]*core.MultiResult{
+		"mspbfs":        core.MSPBFS(g, sources, opt),
+		"msbfs":         core.MSBFS(g, sources, opt),
+		"msbfs-percore": core.MSBFSPerCore(g, sources, opt),
+		"ibfs":          core.IBFS(g, sources, opt),
+	}
+	for name, res := range multi {
+		for i := range sources {
+			if err := compareLevels(res.Levels[i], want[i]); err != nil {
+				return fmt.Errorf("%s source #%d: %w", name, i, err)
+			}
+		}
+	}
+
+	// Single-source algorithms on the first few sources.
+	for _, src := range sources[:3] {
+		ref := core.ReferenceLevels(g, src)
+		single := map[string]*core.Result{
+			"smspbfs-bit":   core.SMSPBFS(g, src, core.BitState, opt),
+			"smspbfs-byte":  core.SMSPBFS(g, src, core.ByteState, opt),
+			"queue":         core.QueueBFS(g, src, opt),
+			"beamer-gapbs":  core.Beamer(g, src, core.BeamerGAPBS, opt),
+			"beamer-sparse": core.Beamer(g, src, core.BeamerSparse, opt),
+			"beamer-dense":  core.Beamer(g, src, core.BeamerDense, opt),
+		}
+		for name, res := range single {
+			if err := compareLevels(res.Levels, ref); err != nil {
+				return fmt.Errorf("%s source %d: %w", name, src, err)
+			}
+		}
+		// Graph500 tree validation on the parallel result.
+		parents := core.DeriveParents(g, single["smspbfs-bit"].Levels, nil)
+		if err := core.ValidateGraph500(g, src, single["smspbfs-bit"].Levels, parents); err != nil {
+			return fmt.Errorf("graph500 validation from %d: %w", src, err)
+		}
+	}
+	return nil
+}
+
+func compareLevels(got, want []int32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("level array length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("vertex %d: level %d, want %d", v, got[v], want[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestVerifyGraphPasses(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(8, 3))
+	if err := verifyGraph(g, "kronecker-8", 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickGraphRotation(t *testing.T) {
+	seen := map[string]bool{}
+	for round := 0; round < 5; round++ {
+		g, desc := pickGraph(round, 0, uint64(round)+1)
+		if g.NumVertices() == 0 {
+			t.Errorf("round %d (%s): empty graph", round, desc)
+		}
+		seen[desc[:3]] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("rotation covered only %d generator families", len(seen))
+	}
+	if _, desc := pickGraph(0, 9, 1); desc != "kronecker-9" {
+		t.Errorf("fixed scale ignored: %s", desc)
+	}
+}
+
+func TestCompareLevels(t *testing.T) {
+	if err := compareLevels([]int32{0, 1}, []int32{0, 1}); err != nil {
+		t.Error(err)
+	}
+	if err := compareLevels([]int32{0, 2}, []int32{0, 1}); err == nil {
+		t.Error("mismatch not detected")
+	}
+	if err := compareLevels([]int32{0}, []int32{0, 1}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}

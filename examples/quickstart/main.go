@@ -1,0 +1,55 @@
+// Quickstart: build a small social graph, run a parallel single-source BFS
+// (SMS-PBFS) and a multi-source BFS (MS-PBFS), and inspect the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	msbfs "repro"
+)
+
+func main() {
+	workers := runtime.NumCPU()
+
+	// A synthetic social network: 100k people, LDBC-like structure.
+	g := msbfs.GenerateSocial(100_000, 42)
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	// Relabel with the paper's striped scheme before heavy traversal work:
+	// high-degree vertices become cache-clustered yet spread across workers.
+	g, _ = g.Relabel(msbfs.LabelStriped, workers, 512, 1)
+
+	// Single-source BFS from a random person, using all cores.
+	source := g.RandomSources(1, 7)[0]
+	res := g.BFS(source, msbfs.Options{Workers: workers, RecordLevels: true})
+	fmt.Printf("\nBFS from vertex %d: reached %d vertices in %v\n",
+		source, res.VisitedVertices, res.Elapsed)
+
+	// Distance histogram — the hallmark small-world shape.
+	hist := map[int32]int{}
+	maxDepth := int32(0)
+	for _, d := range res.Levels {
+		if d >= 0 {
+			hist[d]++
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	fmt.Println("hops  people")
+	for d := int32(0); d <= maxDepth; d++ {
+		fmt.Printf("%4d  %d\n", d, hist[d])
+	}
+
+	// Multi-source BFS: 64 traversals in one pass, sharing common work.
+	sources := g.RandomSources(64, 9)
+	multi := g.MultiBFS(sources, msbfs.Options{Workers: workers})
+	fmt.Printf("\nMS-PBFS over %d sources: %d (source,vertex) discoveries in %v\n",
+		len(sources), multi.VisitedStates, multi.Elapsed)
+	perSource := float64(multi.Elapsed.Microseconds()) / float64(len(sources)) / 1000
+	fmt.Printf("amortized %.2f ms per BFS — the shared-traversal advantage\n", perSource)
+}

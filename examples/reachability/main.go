@@ -1,0 +1,82 @@
+// Reachability and neighborhood enumeration over a web-scale-shaped graph:
+// answer "which of these pages can reach the target?" and "how big is each
+// page's 3-hop neighborhood?" with single multi-source traversals.
+//
+//	go run ./examples/reachability
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	msbfs "repro"
+)
+
+func main() {
+	workers := runtime.NumCPU()
+
+	// A Kronecker graph shaped like the Graph500 benchmark inputs.
+	g := msbfs.GenerateKronecker(16, 16, 11)
+	g, _ = g.Relabel(msbfs.LabelStriped, workers, 512, 2)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	comp, sizes := g.Components()
+	fmt.Printf("components: %d (largest has %d vertices)\n", len(sizes), maxOf(sizes))
+
+	// 64 query vertices, one shared traversal for all of them.
+	queries := g.RandomSources(64, 21)
+	target := g.TopKByDegree(1)[0]
+
+	reach := g.Reachable(queries, target, msbfs.Options{Workers: workers})
+	reachable := 0
+	for _, ok := range reach {
+		if ok {
+			reachable++
+		}
+	}
+	fmt.Printf("\nreachability: %d/%d query vertices reach hub %d\n", reachable, len(queries), target)
+
+	// Cross-check a few answers against component ids (undirected graphs:
+	// reachable iff same component).
+	for i := 0; i < 5; i++ {
+		same := comp[queries[i]] == comp[target]
+		status := "ok"
+		if same != reach[i] {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  vertex %7d: reachable=%-5v sameComponent=%-5v %s\n",
+			queries[i], reach[i], same, status)
+	}
+
+	// Hop-limited neighborhood sizes: 2- and 3-hop circles of the queries.
+	for _, hops := range []int{2, 3} {
+		sizes := g.NeighborhoodSizes(queries[:8], hops, msbfs.Options{Workers: workers})
+		fmt.Printf("\n%d-hop neighborhood sizes of the first 8 queries:\n  ", hops)
+		for _, s := range sizes {
+			fmt.Printf("%d ", s)
+		}
+		fmt.Println()
+	}
+
+	// Eccentricities and a diameter estimate for the whole graph.
+	ecc := g.Eccentricities(queries[:8], msbfs.Options{Workers: workers})
+	fmt.Printf("\neccentricities of the first 8 queries: %v\n", ecc)
+	fmt.Printf("estimated diameter (double sweep): %d\n",
+		g.EstimateDiameter(4, 5, msbfs.Options{Workers: workers}))
+
+	// Point-to-point shortest path via bidirectional BFS.
+	if p := g.ShortestPath(queries[0], target); p != nil {
+		fmt.Printf("\nshortest path %d -> hub %d: %d hops %v\n",
+			queries[0], target, len(p)-1, p)
+	}
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

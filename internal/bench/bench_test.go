@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, Workers: 2, Seed: 1}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := Run("fig99", quickCfg())
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+}
+
+func TestExperimentsHaveUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The paper's claim: at 64 sources MS-PBFS uses the whole machine,
+	// MS-BFS only one core of it.
+	first := res.Rows[0]
+	if first.Sources != 64 {
+		t.Fatalf("first row sources = %d", first.Sources)
+	}
+	if first.UtilMSPBFS <= first.UtilMSBFS {
+		t.Errorf("at 64 sources MS-PBFS utilization (%.2f) should exceed MS-BFS (%.2f)",
+			first.UtilMSPBFS, first.UtilMSBFS)
+	}
+	// MS-BFS utilization grows with the source count.
+	last := res.Rows[len(res.Rows)-1]
+	if last.UtilMSBFS < first.UtilMSBFS {
+		t.Errorf("MS-BFS utilization should grow with sources: %.2f -> %.2f",
+			first.UtilMSBFS, last.UtilMSBFS)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at1, at6, at60 float64
+	for _, r := range res.Rows {
+		switch r.Threads {
+		case 1:
+			at1 = r.MSBFSOverhead
+		case 6:
+			at6 = r.MSBFSOverhead
+		case 60:
+			at60 = r.MSBFSOverhead
+		}
+		if r.MSPBFSOverhead != res.Rows[0].MSPBFSOverhead {
+			t.Error("MS-PBFS overhead should be flat in threads")
+		}
+	}
+	if !(at1 < at6 && at6 < at60) {
+		t.Errorf("MS-BFS overhead should grow: %v %v %v", at1, at6, at60)
+	}
+	if at6 < 1 || at60 < 10 {
+		t.Errorf("paper anchors: >1x at 6 threads (%.2f), >10x at 60 (%.2f)", at6, at60)
+	}
+	if res.MeasuredStateBytes != res.ModelStateBytes {
+		t.Errorf("model %d B vs measured %d B", res.ModelStateBytes, res.MeasuredStateBytes)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ordered", "random", "striped"} {
+		if len(res.PerWorker[name]) != res.Workers {
+			t.Fatalf("%s: %d workers of data", name, len(res.PerWorker[name]))
+		}
+	}
+	// The Figure 6 pathology: ordered labeling concentrates neighbor visits
+	// far more than striped.
+	if spread(res.PerWorker["ordered"]) < 2*spread(res.PerWorker["striped"]) {
+		t.Errorf("ordered spread %.1f should far exceed striped %.1f",
+			spread(res.PerWorker["ordered"]), spread(res.PerWorker["striped"]))
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Updated) < 3 {
+		t.Fatalf("only %d iterations", len(res.Updated))
+	}
+	// The hot iteration must dwarf iteration 2 (hub discovery pattern).
+	sum := func(row []int64) int64 {
+		var s int64
+		for _, c := range row {
+			s += c
+		}
+		return s
+	}
+	var peak int64
+	for _, row := range res.Updated {
+		if s := sum(row); s > peak {
+			peak = s
+		}
+	}
+	if peak <= sum(res.Updated[1])*2 {
+		t.Logf("warning: hot-iteration pattern weak (peak %d vs iter2 %d)", peak, sum(res.Updated[1]))
+	}
+}
+
+func TestFig8And9Shape(t *testing.T) {
+	res, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 { // 2 algorithms x 3 labelings
+		t.Fatalf("%d series", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.IterMillis) == 0 || len(s.IterSkew) != len(s.IterMillis) {
+			t.Fatalf("series %s/%s empty or inconsistent", s.Algorithm, s.Labeling)
+		}
+		if s.TotalMillis <= 0 {
+			t.Errorf("series %s/%s total %v", s.Algorithm, s.Labeling, s.TotalMillis)
+		}
+		for _, sk := range s.IterSkew {
+			if sk < 1 {
+				t.Errorf("skew %v < 1", sk)
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	algos := map[string]bool{}
+	for _, r := range res.Rows {
+		if r.GTEPS <= 0 {
+			t.Errorf("%s @%d: GTEPS %v", r.Algorithm, r.Scale, r.GTEPS)
+		}
+		algos[r.Algorithm] = true
+	}
+	if len(algos) != 5 {
+		t.Errorf("expected 5 algorithms, got %d", len(algos))
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Threads == 1 && (r.Speedup < 0.99 || r.Speedup > 1.01) {
+			t.Errorf("%s: speedup at 1 thread = %v", r.Algorithm, r.Speedup)
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("%s @%d threads: elapsed %v", r.Algorithm, r.Threads, r.Elapsed)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range res.Rows {
+		if r.GTEPS <= 0 {
+			t.Errorf("%s @%d: GTEPS %v", r.Algorithm, r.Scale, r.GTEPS)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Vertices <= 0 || r.Edges <= 0 {
+			t.Errorf("%s: empty graph", r.Name)
+		}
+		if r.MSPBFS <= 0 || r.MSBFS64 <= 0 || r.SMSPBFS <= 0 {
+			t.Errorf("%s: missing GTEPS (%v %v %v)", r.Name, r.MSPBFS, r.MSBFS64, r.SMSPBFS)
+		}
+		// The paper's central Table 1 relation: sequential MS-BFS limited
+		// to 64 sources is far slower than the parallel MS-PBFS on the
+		// same workload (it can use only one core).
+		if r.MSPBFS < r.MSBFS64 {
+			t.Logf("note: %s: MS-PBFS %.3f below MS-BFS64 %.3f (possible at tiny quick scales)",
+				r.Name, r.MSPBFS, r.MSBFS64)
+		}
+	}
+}
+
+func TestIBFSCompareShape(t *testing.T) {
+	res, err := IBFSCompare(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSPBFSGteps <= 0 || res.IBFSGteps <= 0 {
+		t.Fatalf("missing GTEPS: %+v", res)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res, err := Ablation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := map[string]int{}
+	for _, r := range res.Rows {
+		if r.Elapsed <= 0 {
+			t.Errorf("%s/%s: elapsed %v", r.Study, r.Variant, r.Elapsed)
+		}
+		studies[r.Study]++
+	}
+	if len(studies) != 6 {
+		t.Errorf("expected 6 ablation studies, got %d: %v", len(studies), studies)
+	}
+}
+
+func TestNUMALocalityShape(t *testing.T) {
+	res, err := NUMALocality(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range res.Rows {
+		key := r.Algorithm
+		if r.Stealing {
+			key += "/steal"
+		}
+		byKey[key] = r.Locality
+	}
+	// The paper's design invariant: with static partitioning every write
+	// except the top-down phase-1 scatter is region-local.
+	for _, algo := range []string{"MS-PBFS", "SMS-PBFS"} {
+		if byKey[algo] < 0.9 {
+			t.Errorf("%s static locality %.3f, want > 0.9", algo, byKey[algo])
+		}
+		// With stealing the guarantee weakens: on 2 busy container workers
+		// one worker can legitimately steal almost everything, so only a
+		// loose floor is timing-stable.
+		if byKey[algo+"/steal"] < 0.3 {
+			t.Errorf("%s stealing locality %.3f, want > 0.3", algo, byKey[algo+"/steal"])
+		}
+		// Static partitioning can only improve locality.
+		if byKey[algo] < byKey[algo+"/steal"]-0.01 {
+			t.Errorf("%s static locality %.3f below stealing %.3f", algo, byKey[algo], byKey[algo+"/steal"])
+		}
+	}
+}
+
+func TestAlphaBetaShape(t *testing.T) {
+	res, err := AlphaBeta(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Larger alpha must switch to bottom-up no later than smaller alpha.
+	var low, high AlphaBetaRow
+	for _, r := range res.Rows {
+		if r.Alpha == 0.01 && r.Beta == 18 {
+			low = r
+		}
+		if r.Alpha == 240 && r.Beta == 18 {
+			high = r
+		}
+	}
+	if high.FirstBottomUp == 0 {
+		t.Fatal("alpha=240 never switched to bottom-up")
+	}
+	if low.FirstBottomUp != 0 && low.FirstBottomUp < high.FirstBottomUp {
+		t.Errorf("alpha=0.01 switched at iteration %d, before alpha=240 at %d",
+			low.FirstBottomUp, high.FirstBottomUp)
+	}
+}
+
+func TestGraph500Shape(t *testing.T) {
+	res, err := Graph500(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Validated != res.Searches || res.Searches != 64 {
+		t.Errorf("validated %d/%d searches", res.Validated, res.Searches)
+	}
+	if res.HarmonicTEPS <= 0 || res.MinTEPS > res.MedianTEPS || res.MedianTEPS > res.MaxTEPS {
+		t.Errorf("TEPS stats inconsistent: %+v", res)
+	}
+}
+
+func TestRunAllPrintsReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Out = &buf
+	if err := Run("all", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "Figure 3", "Figure 6", "Figure 7", "Figure 8",
+		"Figure 9", "Figure 10", "Figure 11", "Figure 12", "Table 1", "iBFS", "Ablations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barChart renders labeled values as proportional horizontal ASCII bars —
+// a terminal-friendly stand-in for the paper's plots, printed beneath the
+// numeric tables so the figures' shapes are visible at a glance.
+//
+//	ordered  ################################ 86.0
+//	random   #########################        68.0
+//	striped  ###############                  42.0
+func barChart(w io.Writer, labels []string, values []float64, unit string, width int) {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := values[0]
+	labelWidth := len(labels[0])
+	for i := range labels {
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for i := range labels {
+		bar := int(values[i] / maxVal * float64(width))
+		if values[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %-*s %-*s %.3g%s\n",
+			labelWidth, labels[i],
+			width, strings.Repeat("#", bar),
+			values[i], unit)
+	}
+}
+
+// sparkline renders a numeric series as a one-line unicode-free profile
+// using a fixed ramp, e.g. " .:-=+*#%@". Zero-length input yields "".
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	const ramp = " .:-=+*#%@"
+	maxVal := values[0]
+	for _, v := range values[1:] {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int(v / maxVal * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteByte(ramp[idx])
+	}
+	return b.String()
+}

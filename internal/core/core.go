@@ -1,0 +1,271 @@
+// Package core implements the paper's BFS algorithms and every baseline its
+// evaluation compares against:
+//
+//   - MS-PBFS — the parallel multi-source BFS (Section 3.1): two-phase
+//     top-down with per-word CAS merges, bottom-up with early exit, NUMA- and
+//     cache-conscious array state, work-stealing scheduling.
+//   - SMS-PBFS — the parallel single-source variant (Section 3.2) in both
+//     bit and byte state representations with 64-vertex chunk skipping.
+//   - MS-BFS — the sequential multi-source baseline of Then et al. (VLDB
+//     2015), including the "one instance per core" execution mode.
+//   - Beamer's direction-optimizing BFS (sequential; GAPBS-, sparse- and
+//     dense-queue variants).
+//   - A queue-based parallel single-source BFS in the style of Yasui et al.
+//   - An iBFS-style joint-frontier-queue multi-source variant.
+//   - A textbook FIFO BFS used as the correctness oracle.
+//
+// All algorithms operate on the CSR graphs of internal/graph and share the
+// Options/metrics plumbing defined in this file.
+package core
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// Direction selects the traversal policy of a direction-optimizing BFS.
+type Direction int
+
+const (
+	// Auto applies the Beamer-style alpha/beta heuristic each iteration.
+	Auto Direction = iota
+	// TopDownOnly forces top-down processing (classic BFS direction).
+	TopDownOnly
+	// BottomUpOnly forces bottom-up processing from the first iteration.
+	BottomUpOnly
+)
+
+// Default direction-heuristic parameters (the GAP benchmark suite values).
+const (
+	DefaultAlpha = 15.0
+	DefaultBeta  = 18.0
+)
+
+// NoLevel marks a vertex not reached by a BFS in recorded level arrays.
+const NoLevel = int32(-1)
+
+// Options configures a BFS run. The zero value is usable: one worker,
+// 64-wide batches, default split size and heuristics, no instrumentation.
+type Options struct {
+	// Workers is the number of parallel workers; <=0 selects 1.
+	Workers int
+	// BatchWords is the per-vertex bitset width in 64-bit words for the
+	// multi-source algorithms (1..8, i.e. 64..512 concurrent BFSs);
+	// <=0 selects 1.
+	BatchWords int
+	// SplitSize is the task range size in vertices; <=0 selects
+	// sched.DefaultSplitSize. The BFS kernels round it up to a multiple of
+	// 512 so bitmap words and modeled NUMA pages never straddle tasks
+	// (Section 4.4).
+	SplitSize int
+	// Direction selects the traversal policy.
+	Direction Direction
+	// Alpha and Beta tune the direction heuristic; <=0 selects the GAPBS
+	// defaults.
+	Alpha, Beta float64
+	// MaxDepth, when positive, stops the traversal after that many
+	// iterations: only vertices within MaxDepth hops are discovered. Used
+	// for hop-limited neighborhood queries.
+	MaxDepth int
+	// RecordLevels makes the run produce per-source distance arrays.
+	// Memory cost is sources x vertices x 4 bytes; intended for
+	// correctness tests and applications, not throughput benchmarks.
+	RecordLevels bool
+	// CollectIterStats gathers per-iteration metrics.IterationStat.
+	CollectIterStats bool
+	// PerWorkerTiming additionally records per-worker busy time per
+	// iteration (implies CollectIterStats for the timed data to land).
+	PerWorkerTiming bool
+	// DisableStealing runs every parallel loop with static partitioning
+	// (each worker only processes its own queue). Used by the labeling
+	// skew experiments (Figures 6, 7).
+	DisableStealing bool
+	// SinglePhaseTopDown switches the sequential MS-BFS to the "direct"
+	// top-down variant of Then et al.: seen and next are updated inline
+	// while scanning the frontier instead of in a separate second phase.
+	// It saves one pass over the vertex array but writes seen per edge
+	// rather than per vertex; the trade-off is measured in the ablation
+	// benchmarks. Only MSBFS honors it — the parallel two-phase structure
+	// is what makes MS-PBFS synchronization-free, so a direct parallel
+	// variant would need per-edge CAS on seen as well.
+	SinglePhaseTopDown bool
+	// DisableEarlyExit turns off the bottom-up neighbor-scan early exit
+	// (the "stop once all active BFS bits are set" optimization); used by
+	// the ablation benchmarks.
+	DisableEarlyExit bool
+	// Pool optionally supplies a pre-started worker pool to reuse across
+	// runs; it must have exactly Workers workers. When nil, a pool is
+	// created and torn down inside the call.
+	Pool *sched.Pool
+	// Topology optionally enables the NUMA placement model; when non-zero
+	// the run records modeled page locality into NUMAStats.
+	Topology numa.Topology
+	// OnVisit, when non-nil, is called for every (source, vertex)
+	// discovery with the BFS depth. It is invoked concurrently from
+	// worker goroutines; implementations typically accumulate into
+	// workerID-indexed buckets. sourceIdx is the index within the
+	// processed batch for multi-source runs and 0 for single-source runs.
+	OnVisit func(workerID, sourceIdx, vertex, depth int)
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) batchWords() int {
+	if o.BatchWords <= 0 {
+		return 1
+	}
+	return o.BatchWords
+}
+
+// splitStride is the granularity task sizes are rounded to: 512 vertices is
+// one 4096-byte page of 64-bit-per-vertex state and a whole number of
+// bitmap words, so tasks never share pages or words (Section 4.4).
+const splitStride = 512
+
+func (o Options) splitSize() int {
+	s := o.SplitSize
+	if s <= 0 {
+		s = sched.DefaultSplitSize
+	}
+	if rem := s % splitStride; rem != 0 {
+		s += splitStride - rem
+	}
+	return s
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha <= 0 {
+		return DefaultAlpha
+	}
+	return o.Alpha
+}
+
+func (o Options) beta() float64 {
+	if o.Beta <= 0 {
+		return DefaultBeta
+	}
+	return o.Beta
+}
+
+func (o Options) collectStats() bool { return o.CollectIterStats || o.PerWorkerTiming }
+
+// acquirePool returns the pool to run on and whether the caller owns (and
+// must close) it.
+func (o Options) acquirePool() (pool *sched.Pool, owned bool) {
+	if o.Pool != nil {
+		if o.Pool.Workers() != o.workers() {
+			panic("core: supplied pool size does not match Options.Workers")
+		}
+		return o.Pool, false
+	}
+	return sched.NewPool(o.workers(), false), true
+}
+
+// Result is the outcome of a single-source BFS.
+type Result struct {
+	// Levels[v] is the hop distance from the source, or NoLevel if
+	// unreachable. Nil unless Options.RecordLevels was set.
+	Levels []int32
+	// VisitedVertices counts the vertices reached (including the source).
+	VisitedVertices int64
+	// Stats aggregates timing and per-iteration detail.
+	Stats metrics.RunStat
+	// NUMAStats carries the modeled page-locality tracker when a Topology
+	// was configured (LocalityRatio 1.0 = all accounted accesses were
+	// region-local).
+	NUMAStats *numa.Tracker
+	// WorkerBusy is the accumulated busy time per worker over the whole
+	// run, used for the utilization analysis of Figure 2. Populated by the
+	// parallel algorithms when they own their worker pool.
+	WorkerBusy []time.Duration
+}
+
+// MultiResult is the outcome of a multi-source BFS over one batch or a
+// sequence of batches.
+type MultiResult struct {
+	// Sources are the processed source vertices in order.
+	Sources []int
+	// Levels[i][v] is the distance of v from Sources[i]; nil unless
+	// Options.RecordLevels was set.
+	Levels [][]int32
+	// VisitedStates counts (source, vertex) discoveries across the run.
+	VisitedStates int64
+	// Stats aggregates timing and per-iteration detail.
+	Stats metrics.RunStat
+	// NUMAStats carries the modeled page-locality tracker when a Topology
+	// was configured.
+	NUMAStats *numa.Tracker
+	// WorkerBusy is the accumulated busy time per worker over the whole
+	// run (Figure 2's utilization numerator).
+	WorkerBusy []time.Duration
+}
+
+// padCounter is an int64 padded to a cache line so per-worker counters do
+// not false-share.
+type padCounter struct {
+	v int64
+	_ [56]byte
+}
+
+func counterValues(cs []padCounter) []int64 {
+	out := make([]int64, len(cs))
+	for i := range cs {
+		out[i] = cs[i].v
+	}
+	return out
+}
+
+func sumCounters(cs []padCounter) int64 {
+	var s int64
+	for i := range cs {
+		s += cs[i].v
+	}
+	return s
+}
+
+func resetCounters(cs []padCounter) {
+	for i := range cs {
+		cs[i].v = 0
+	}
+}
+
+// iterRecorder centralizes the optional per-iteration stat collection
+// shared by all parallel algorithms.
+type iterRecorder struct {
+	opt   Options
+	stats []metrics.IterationStat
+}
+
+func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
+	frontier, updated, scanned int64, bottomUp bool,
+	scannedPW, updatedPW []int64) {
+	if !r.opt.collectStats() {
+		return
+	}
+	st := metrics.IterationStat{
+		Iteration:        iter,
+		Duration:         dur,
+		FrontierVertices: frontier,
+		UpdatedStates:    updated,
+		ScannedEdges:     scanned,
+		BottomUp:         bottomUp,
+	}
+	if r.opt.PerWorkerTiming {
+		st.WorkerBusy = busy
+		st.ScannedPerWorker = scannedPW
+		st.UpdatedPerWorker = updatedPW
+	}
+	r.stats = append(r.stats, st)
+}
+
+// SourcesPerBatch returns the number of concurrent BFSs one batch of the
+// given width (in 64-bit words) supports.
+func SourcesPerBatch(batchWords int) int { return batchWords * 64 }

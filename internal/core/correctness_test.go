@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+// testGraphs returns a small suite of structurally diverse graphs used by
+// the cross-algorithm correctness tests.
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"kronecker":  gen.Kronecker(gen.Graph500Params(9, 1)),
+		"ldbc":       gen.LDBC(gen.LDBCDefaults(1500, 2)),
+		"uniform":    gen.Uniform(1200, 6, 3),
+		"powerlaw":   gen.PowerLaw(gen.PowerLawParams{N: 1000, Exponent: 2.1, MinDegree: 1, Seed: 4}),
+		"web":        gen.Web(gen.WebParams{N: 1500, AvgDegree: 8, LocalityWindow: 16, Seed: 5}),
+		"path":       pathGraph(700),
+		"star":       starGraph(900),
+		"components": disconnected(),
+	}
+}
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return b.Build()
+}
+
+func starGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+	}
+	return b.Build()
+}
+
+// disconnected builds three separate components plus isolated vertices.
+func disconnected() *graph.Graph {
+	b := graph.NewBuilder(300)
+	for i := 0; i+1 < 100; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	for i := 100; i+1 < 200; i += 2 {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	// vertices 200..299 isolated
+	return b.Build()
+}
+
+func levelsEqual(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: level array length %d, want %d", name, len(got), len(want))
+	}
+	bad := 0
+	for v := range want {
+		if got[v] != want[v] {
+			if bad < 5 {
+				t.Errorf("%s: vertex %d level = %d, want %d", name, v, got[v], want[v])
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d mismatching levels", name, bad)
+	}
+}
+
+// TestSingleSourceAlgorithmsMatchOracle runs every single-source algorithm
+// in every direction mode on every test graph and compares distances with
+// the textbook oracle.
+func TestSingleSourceAlgorithmsMatchOracle(t *testing.T) {
+	for gname, g := range testGraphs() {
+		sources := RandomSources(g, 3, 99)
+		if len(sources) == 0 {
+			t.Fatalf("%s: no sources", gname)
+		}
+		for _, src := range sources {
+			want := ReferenceLevels(g, src)
+			for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+				for _, workers := range []int{1, 4} {
+					opt := Options{Workers: workers, Direction: dir, RecordLevels: true}
+
+					for _, repr := range []StateRepr{BitState, ByteState} {
+						name := fmt.Sprintf("%s/src%d/SMSPBFS-%v/dir%d/w%d", gname, src, repr, dir, workers)
+						res := SMSPBFS(g, src, repr, opt)
+						levelsEqual(t, name, res.Levels, want)
+					}
+
+					name := fmt.Sprintf("%s/src%d/QueueBFS/dir%d/w%d", gname, src, dir, workers)
+					levelsEqual(t, name, QueueBFS(g, src, opt).Levels, want)
+
+					if workers == 1 {
+						for _, variant := range []BeamerVariant{BeamerGAPBS, BeamerSparse, BeamerDense} {
+							name := fmt.Sprintf("%s/src%d/%v/dir%d", gname, src, variant, dir)
+							levelsEqual(t, name, Beamer(g, src, variant, opt).Levels, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSourceAlgorithmsMatchOracle checks MS-PBFS, MS-BFS and iBFS
+// against the oracle for batches spanning width boundaries.
+func TestMultiSourceAlgorithmsMatchOracle(t *testing.T) {
+	for gname, g := range testGraphs() {
+		sources := RandomSources(g, 70, 7) // spans a 64-wide batch boundary
+		if len(sources) < 70 {
+			sources = append(sources, sources...)
+			sources = sources[:70]
+		}
+		want := make([][]int32, len(sources))
+		for i, s := range sources {
+			want[i] = ReferenceLevels(g, s)
+		}
+		for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+			for _, workers := range []int{1, 4} {
+				opt := Options{Workers: workers, Direction: dir, RecordLevels: true}
+
+				res := MSPBFS(g, sources, opt)
+				for i := range sources {
+					levelsEqual(t, fmt.Sprintf("%s/MSPBFS/dir%d/w%d/src#%d", gname, dir, workers, i),
+						res.Levels[i], want[i])
+				}
+
+				ib := IBFS(g, sources, opt)
+				for i := range sources {
+					levelsEqual(t, fmt.Sprintf("%s/IBFS/dir%d/w%d/src#%d", gname, dir, workers, i),
+						ib.Levels[i], want[i])
+				}
+
+				if workers == 1 {
+					seq := MSBFS(g, sources, opt)
+					for i := range sources {
+						levelsEqual(t, fmt.Sprintf("%s/MSBFS/dir%d/src#%d", gname, dir, i),
+							seq.Levels[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSourceWideBatches exercises the 2- and 4-word bitset widths
+// (128 and 256 concurrent BFSs).
+func TestMultiSourceWideBatches(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 3))
+	sources := RandomSources(g, 200, 13)
+	want := make([][]int32, len(sources))
+	for i, s := range sources {
+		want[i] = ReferenceLevels(g, s)
+	}
+	for _, words := range []int{2, 4} {
+		opt := Options{Workers: 2, BatchWords: words, RecordLevels: true}
+		res := MSPBFS(g, sources, opt)
+		for i := range sources {
+			levelsEqual(t, fmt.Sprintf("MSPBFS/words%d/src#%d", words, i), res.Levels[i], want[i])
+		}
+		seq := MSBFS(g, sources, Options{BatchWords: words, RecordLevels: true})
+		for i := range sources {
+			levelsEqual(t, fmt.Sprintf("MSBFS/words%d/src#%d", words, i), seq.Levels[i], want[i])
+		}
+	}
+}
+
+// TestDuplicateSources: the same vertex appearing several times in a batch
+// must produce identical, correct levels for each occurrence.
+func TestDuplicateSources(t *testing.T) {
+	g := gen.Uniform(500, 5, 8)
+	sources := []int{10, 10, 20, 10, 20}
+	want := map[int][]int32{
+		10: ReferenceLevels(g, 10),
+		20: ReferenceLevels(g, 20),
+	}
+	res := MSPBFS(g, sources, Options{Workers: 2, RecordLevels: true})
+	for i, s := range sources {
+		levelsEqual(t, fmt.Sprintf("dup/src#%d", i), res.Levels[i], want[s])
+	}
+}
+
+// TestLabelingPreservesDistances: relabeling the graph with any scheme and
+// translating the source must give the same distances modulo the
+// permutation — run on the paper's own algorithms.
+func TestLabelingPreservesDistances(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 6))
+	src := RandomSources(g, 1, 3)[0]
+	want := ReferenceLevels(g, src)
+
+	for _, scheme := range []label.Scheme{label.Random, label.DegreeOrdered, label.Striped} {
+		relabeled, perm := label.Apply(g, scheme, label.Params{Workers: 4, TaskSize: 512, Seed: 11})
+		res := SMSPBFS(relabeled, int(perm[src]), BitState, Options{Workers: 4, RecordLevels: true})
+		for v := range want {
+			if res.Levels[perm[v]] != want[v] {
+				t.Fatalf("%v labeling: vertex %d level %d, want %d",
+					scheme, v, res.Levels[perm[v]], want[v])
+			}
+		}
+
+		multi := MSPBFS(relabeled, []int{int(perm[src])}, Options{Workers: 4, RecordLevels: true})
+		for v := range want {
+			if multi.Levels[0][perm[v]] != want[v] {
+				t.Fatalf("%v labeling (MSPBFS): vertex %d wrong", scheme, v)
+			}
+		}
+	}
+}
+
+// TestVisitedCountsMatchComponentSize: every algorithm must visit exactly
+// the source's connected component.
+func TestVisitedCountsMatchComponentSize(t *testing.T) {
+	g := disconnected()
+	comp, sizes := graph.Components(g)
+	src := 42 // inside the 100-vertex path component
+	want := sizes[comp[src]]
+
+	if got := SMSPBFS(g, src, BitState, Options{Workers: 2}).VisitedVertices; got != want {
+		t.Errorf("SMSPBFS visited %d, want %d", got, want)
+	}
+	if got := QueueBFS(g, src, Options{Workers: 2}).VisitedVertices; got != want {
+		t.Errorf("QueueBFS visited %d, want %d", got, want)
+	}
+	if got := Beamer(g, src, BeamerGAPBS, Options{}).VisitedVertices; got != want {
+		t.Errorf("Beamer visited %d, want %d", got, want)
+	}
+	if got := MSPBFS(g, []int{src}, Options{Workers: 2}).VisitedStates; got != want {
+		t.Errorf("MSPBFS visited %d states, want %d", got, want)
+	}
+	// Two sources in the same component: 2x the component size.
+	if got := MSPBFS(g, []int{src, src + 1}, Options{Workers: 2}).VisitedStates; got != 2*want {
+		t.Errorf("MSPBFS 2-source visited %d states, want %d", got, 2*want)
+	}
+}
+
+// TestSingleVertexGraph and other degenerate shapes.
+func TestDegenerateGraphs(t *testing.T) {
+	// Single vertex, no edges.
+	g := graph.FromEdges(1, nil)
+	res := SMSPBFS(g, 0, BitState, Options{RecordLevels: true})
+	if res.VisitedVertices != 1 || res.Levels[0] != 0 {
+		t.Error("single-vertex BFS wrong")
+	}
+	multi := MSPBFS(g, []int{0, 0}, Options{RecordLevels: true})
+	if multi.VisitedStates != 2 {
+		t.Error("single-vertex multi-source BFS wrong")
+	}
+
+	// Two vertices, one edge.
+	g2 := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	res2 := SMSPBFS(g2, 1, ByteState, Options{Workers: 2, RecordLevels: true})
+	if res2.Levels[0] != 1 || res2.Levels[1] != 0 {
+		t.Errorf("two-vertex BFS levels = %v", res2.Levels)
+	}
+
+	// Empty source list.
+	empty := MSPBFS(g2, nil, Options{})
+	if empty.VisitedStates != 0 || empty.Stats.Sources != 0 {
+		t.Error("empty source list should visit nothing")
+	}
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// MSPBFS runs the parallel multi-source BFS of Section 3. Sources are
+// processed in batches of up to 64*BatchWords concurrent BFSs; all workers
+// cooperate on each batch (one multi-source BFS saturates the machine, the
+// property Figure 2 demonstrates). The same code path runs sequentially
+// when Workers is 1 — the paper's point that the parallelization overhead
+// is negligible means no separate sequential implementation is needed.
+func MSPBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
+	e := newMSPBFSEngine(g, opt)
+	defer e.Close()
+	return e.Run(sources)
+}
+
+// MSPBFSEngine holds the reusable state of an MS-PBFS instance: the three
+// per-vertex bitset arrays, the worker pool, task layout, and the modeled
+// NUMA placement. Reusing an engine across batches amortizes allocation,
+// matching the paper's "initialize large data structures once" design
+// (Section 4.4).
+type MSPBFSEngine struct {
+	g   *graph.Graph
+	opt Options
+
+	pool     *sched.Pool
+	ownsPool bool
+	tq       *sched.TaskQueues
+
+	seen  *bitset.State
+	buf0  *bitset.State // frontier/next double buffer
+	buf1  *bitset.State
+	words int
+
+	// Per-worker accumulators (cache-line padded).
+	scanned   []padCounter // neighbor entries examined
+	updated   []padCounter // newly set BFS states
+	frontVtx  []padCounter // vertices active in the produced frontier
+	frontDeg  []padCounter // degree sum of the produced frontier
+	unseenDeg []padCounter // degree newly removed from the unexplored set
+
+	// Per-worker bottom-up scratch rows.
+	scratch [][]uint64
+	// Per-worker OR of the frontier bits produced this iteration; their
+	// union is the next iteration's active mask. A BFS whose frontier
+	// drained can never discover anything again, so removing its bit lets
+	// the bottom-up skip and early-exit checks fire even when some of the
+	// batch's sources sit in small components (without this, one finished
+	// BFS would force full neighbor scans for the rest of the run).
+	liveBits [][]uint64
+
+	// Modeled NUMA placement (nil unless Options.Topology is set).
+	pageMap *numa.PageMap
+	tracker *numa.Tracker
+}
+
+// NewMSPBFSEngine prepares an engine. Close must be called to release the
+// worker pool unless one was supplied via Options.Pool.
+func NewMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
+	return newMSPBFSEngine(g, opt)
+}
+
+func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
+	n := g.NumVertices()
+	words := opt.batchWords()
+	pool, owns := opt.acquirePool()
+	workers := pool.Workers()
+
+	e := &MSPBFSEngine{
+		g:         g,
+		opt:       opt,
+		pool:      pool,
+		ownsPool:  owns,
+		tq:        sched.CreateTasks(n, opt.splitSize(), workers),
+		seen:      bitset.NewState(n, words),
+		buf0:      bitset.NewState(n, words),
+		buf1:      bitset.NewState(n, words),
+		words:     words,
+		scanned:   make([]padCounter, workers),
+		updated:   make([]padCounter, workers),
+		frontVtx:  make([]padCounter, workers),
+		frontDeg:  make([]padCounter, workers),
+		unseenDeg: make([]padCounter, workers),
+		scratch:   make([][]uint64, workers),
+		liveBits:  make([][]uint64, workers),
+	}
+	for w := range e.scratch {
+		e.scratch[w] = make([]uint64, words)
+		// Pad each row to a cache line so per-worker OR accumulation does
+		// not false-share.
+		e.liveBits[w] = make([]uint64, words, words+8)
+	}
+
+	if opt.Topology.Sockets > 0 {
+		// Model the paper's deterministic page placement: the BFS arrays
+		// are interleaved across regions at exactly the task-range borders
+		// (Section 4.4), as the per-worker first-touch initialization
+		// below would produce on real hardware.
+		e.pageMap = numa.NewPageMap(opt.Topology, n, words*8)
+		e.pageMap.PlaceFirstTouch(e.tq)
+		e.tracker = numa.NewTracker(opt.Topology)
+		if opt.Topology.Workers() == workers {
+			// NUMA-aware stealing: drain same-region queues before
+			// crossing sockets, so stolen tasks' data stays as local as
+			// the topology allows.
+			e.tq.SetStealOrder(numa.StealOrder(opt.Topology))
+		}
+	}
+
+	// Parallel first-touch initialization without stealing so the modeled
+	// placement matches which worker actually zeroes each range.
+	e.tq.Reset()
+	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	})
+	return e
+}
+
+// Close releases the engine's worker pool if the engine owns it.
+func (e *MSPBFSEngine) Close() {
+	if e.ownsPool {
+		e.pool.Close()
+	}
+}
+
+// Run processes all sources in batches and aggregates the result.
+func (e *MSPBFSEngine) Run(sources []int) *MultiResult {
+	res := &MultiResult{Sources: append([]int(nil), sources...)}
+	if e.opt.RecordLevels {
+		res.Levels = make([][]int32, len(sources))
+	}
+	res.NUMAStats = e.tracker
+	e.pool.ResetBusy()
+	perBatch := SourcesPerBatch(e.words)
+	for off := 0; off < len(sources); off += perBatch {
+		hi := off + perBatch
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		e.runBatch(sources[off:hi], off, res)
+	}
+	res.WorkerBusy = e.pool.Busy()
+	return res
+}
+
+// runBatch executes one batch of k <= 64*words concurrent BFSs.
+func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) {
+	g, opt, n := e.g, e.opt, e.g.NumVertices()
+	k := len(batch)
+	if k == 0 {
+		return
+	}
+	rec := &iterRecorder{opt: opt}
+	var levels [][]int32
+	if opt.RecordLevels {
+		levels = make([][]int32, k)
+		for i := range levels {
+			levels[i] = make([]int32, n)
+			for v := range levels[i] {
+				levels[i][v] = NoLevel
+			}
+		}
+	}
+
+	start := time.Now()
+
+	// Reset state from any previous batch. The static no-steal loop keeps
+	// the modeled first-touch placement authoritative.
+	e.tq.Reset()
+	e.pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	})
+
+	frontier, next := e.buf0, e.buf1
+	activeMask := e.seen.FullMask(k)
+
+	var visited int64
+	for i, s := range batch {
+		e.seen.Set(s, i)
+		frontier.Set(s, i)
+		visited++
+		if levels != nil {
+			levels[i][s] = 0
+		}
+		if opt.OnVisit != nil {
+			opt.OnVisit(0, batchOffset+i, s, 0)
+		}
+	}
+
+	// Heuristic state (aggregate over the batch, GAPBS-style).
+	frontVertices := int64(0)
+	frontEdges := int64(0)
+	distinct := make(map[int]bool, k)
+	for _, s := range batch {
+		if !distinct[s] {
+			distinct[s] = true
+			frontVertices++
+			frontEdges += int64(g.Degree(s))
+		}
+	}
+	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
+
+	bottomUp := opt.Direction == BottomUpOnly
+	depth := int32(0)
+
+	for frontVertices > 0 {
+		if opt.MaxDepth > 0 && int(depth) >= opt.MaxDepth {
+			break
+		}
+		depth++
+		iterStart := time.Now()
+
+		if opt.Direction == Auto {
+			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
+				bottomUp = true
+			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
+				bottomUp = false
+			}
+		}
+
+		resetCounters(e.scanned)
+		resetCounters(e.updated)
+		resetCounters(e.frontVtx)
+		resetCounters(e.frontDeg)
+		resetCounters(e.unseenDeg)
+		for w := range e.liveBits {
+			for i := range e.liveBits[w] {
+				e.liveBits[w][i] = 0
+			}
+		}
+
+		var busy []time.Duration
+		if bottomUp {
+			busy = e.bottomUpIteration(frontier, next, activeMask, levels, depth, batchOffset)
+		} else {
+			busy = e.topDownIteration(frontier, next, levels, depth, batchOffset)
+		}
+
+		// Shrink the active mask to the BFSs that still have a frontier;
+		// drained BFSs can never discover new vertices.
+		for i := range activeMask {
+			activeMask[i] = 0
+		}
+		for w := range e.liveBits {
+			for i := range activeMask {
+				activeMask[i] |= e.liveBits[w][i]
+			}
+		}
+
+		updated := sumCounters(e.updated)
+		visited += updated
+		frontVertices = sumCounters(e.frontVtx)
+		frontEdges = sumCounters(e.frontDeg)
+		unexploredEdges -= sumCounters(e.unseenDeg)
+		if unexploredEdges < 0 {
+			unexploredEdges = 0
+		}
+
+		rec.record(int(depth), time.Since(iterStart), busy,
+			frontVertices, updated, sumCounters(e.scanned), bottomUp,
+			counterValues(e.scanned), counterValues(e.updated))
+
+		frontier, next = next, frontier
+	}
+
+	// After a bottom-up final iteration the buffers may hold bits from
+	// older iterations; the next batch resets everything, so nothing to do.
+	e.buf0, e.buf1 = frontier, next
+
+	elapsed := time.Since(start)
+	res.VisitedStates += visited
+	res.Stats.Merge(metrics.RunStat{Elapsed: elapsed, Sources: k, Iterations: rec.stats})
+	if levels != nil {
+		for i := range levels {
+			res.Levels[batchOffset+i] = levels[i]
+		}
+	}
+}
+
+// topDownIteration runs the two-phase parallel top-down step of
+// Section 3.1.1 and returns per-worker busy time (phase 1 + phase 2) when
+// requested.
+func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][]int32, depth int32, batchOffset int) []time.Duration {
+	g, opt := e.g, e.opt
+	steal := !opt.DisableStealing
+
+	// Phase 1: aggregate reachability into next. The only phase with
+	// non-local writes: next[n] is merged via per-word CAS (Listing 1
+	// lines 1-4 with the CAS replacement of Section 3.1.1).
+	e.tq.Reset()
+	busy1 := e.runPhase(steal, func(workerID int, r sched.Range) {
+		scanned := &e.scanned[workerID]
+		for v := r.Lo; v < r.Hi; v++ {
+			if !frontier.Any(v) {
+				continue
+			}
+			row := frontier.Row(v)
+			nbrs := g.Neighbors(v)
+			scanned.v += int64(len(nbrs))
+			if e.tracker == nil {
+				for _, nb := range nbrs {
+					next.AtomicOrVertex(int(nb), row)
+				}
+			} else {
+				// Model phase 1's scattered writes: only merges that change
+				// the bitset dirty a cache line; no-change merges are pure
+				// (shareable) reads and are not charged.
+				for _, nb := range nbrs {
+					if next.AtomicOrVertex(int(nb), row) {
+						e.tracker.RecordElem(e.pageMap, workerID, int(nb))
+					}
+				}
+			}
+		}
+	})
+
+	// Phase 2: identify newly discovered vertices (Listing 1 lines 6-11).
+	// Each vertex is touched by exactly one worker, so no synchronization;
+	// frontier entries are cleared in place so the arrays can swap roles
+	// without a separate memset.
+	e.tq.Reset()
+	busy2 := e.runPhase(steal, func(workerID int, r sched.Range) {
+		upd := &e.updated[workerID]
+		fv := &e.frontVtx[workerID]
+		fd := &e.frontDeg[workerID]
+		ud := &e.unseenDeg[workerID]
+		live := e.liveBits[workerID]
+		if e.tracker != nil {
+			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+		}
+		for v := r.Lo; v < r.Hi; v++ {
+			if frontier.Any(v) {
+				frontier.ZeroVertex(v)
+			}
+			if !next.Any(v) {
+				continue
+			}
+			nRow := next.Row(v)
+			sRow := e.seen.Row(v)
+			anyNew := uint64(0)
+			for i := range nRow {
+				nw := nRow[i] &^ sRow[i]
+				if nw != nRow[i] {
+					nRow[i] = nw
+				}
+				sRow[i] |= nw
+				anyNew |= nw
+			}
+			if anyNew == 0 {
+				continue
+			}
+			newBits := 0
+			for i := range nRow {
+				newBits += onesCount(nRow[i])
+				live[i] |= nRow[i]
+			}
+			upd.v += int64(newBits)
+			fv.v++
+			d := int64(g.Degree(v))
+			fd.v += d
+			ud.v += d
+			if levels != nil || opt.OnVisit != nil {
+				e.emitVisits(workerID, v, nRow, levels, depth, batchOffset)
+			}
+		}
+	})
+
+	return sumBusy(busy1, busy2)
+}
+
+// bottomUpIteration runs the parallel bottom-up step of Section 3.1.2.
+func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMask []uint64, levels [][]int32, depth int32, batchOffset int) []time.Duration {
+	g, opt := e.g, e.opt
+	steal := !opt.DisableStealing
+	earlyExit := !opt.DisableEarlyExit
+
+	e.tq.Reset()
+	busy := e.runPhase(steal, func(workerID int, r sched.Range) {
+		scanned := &e.scanned[workerID]
+		upd := &e.updated[workerID]
+		fv := &e.frontVtx[workerID]
+		fd := &e.frontDeg[workerID]
+		ud := &e.unseenDeg[workerID]
+		acc := e.scratch[workerID]
+		live := e.liveBits[workerID]
+		if e.tracker != nil {
+			e.tracker.RecordRange(e.pageMap, workerID, r.Lo, r.Hi)
+		}
+		for u := r.Lo; u < r.Hi; u++ {
+			sRow := e.seen.Row(u)
+			if coversMask(sRow, activeMask) {
+				// Fully seen: just scrub any stale next bits so the buffer
+				// swap stays exact (see the buffer-reuse discussion in the
+				// package tests).
+				if next.Any(u) {
+					next.ZeroVertex(u)
+				}
+				continue
+			}
+			for i := range acc {
+				acc[i] = 0
+			}
+			for _, v := range g.Neighbors(u) {
+				scanned.v++
+				fRow := frontier.Row(int(v))
+				for i := range acc {
+					acc[i] |= fRow[i]
+				}
+				if earlyExit && coversPair(sRow, acc, activeMask) {
+					break
+				}
+			}
+			nRow := next.Row(u)
+			anyNew := uint64(0)
+			for i := range acc {
+				nw := acc[i] &^ sRow[i]
+				nRow[i] = nw
+				sRow[i] |= nw
+				anyNew |= nw
+			}
+			if anyNew == 0 {
+				continue
+			}
+			newBits := 0
+			for i := range nRow {
+				newBits += onesCount(nRow[i])
+				live[i] |= nRow[i]
+			}
+			upd.v += int64(newBits)
+			fv.v++
+			d := int64(g.Degree(u))
+			fd.v += d
+			ud.v += d
+			if levels != nil || opt.OnVisit != nil {
+				e.emitVisits(workerID, u, nRow, levels, depth, batchOffset)
+			}
+		}
+	})
+	return busy
+}
+
+// runPhase executes one parallel loop, with or without per-worker timing.
+func (e *MSPBFSEngine) runPhase(steal bool, body func(workerID int, r sched.Range)) []time.Duration {
+	if e.opt.PerWorkerTiming {
+		return e.pool.ParallelForTimed(e.tq, steal, body)
+	}
+	if steal {
+		e.pool.ParallelFor(e.tq, body)
+	} else {
+		e.pool.ParallelForStatic(e.tq, body)
+	}
+	return nil
+}
+
+// emitVisits records levels and fires the OnVisit callback for the newly
+// set bits of vertex v.
+func (e *MSPBFSEngine) emitVisits(workerID, v int, newRow []uint64, levels [][]int32, depth int32, batchOffset int) {
+	for wi, w := range newRow {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			i := base + trailingZeros64(w)
+			if levels != nil && i < len(levels) {
+				levels[i][v] = depth
+			}
+			if e.opt.OnVisit != nil {
+				e.opt.OnVisit(workerID, batchOffset+i, v, int(depth))
+			}
+		}
+	}
+}
+
+// coversMask reports whether row covers every bit of mask.
+func coversMask(row, mask []uint64) bool {
+	for i := range mask {
+		if mask[i]&^row[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// coversPair reports whether (a | b) covers every bit of mask.
+func coversPair(a, b, mask []uint64) bool {
+	for i := range mask {
+		if mask[i]&^(a[i]|b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sumBusy(a, b []time.Duration) []time.Duration {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]time.Duration, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ReferenceBFS is the textbook FIFO-queue BFS. It is the correctness oracle
+// for every other algorithm in this package and the GTEPS sanity baseline.
+// It always records levels.
+func ReferenceBFS(g *graph.Graph, source int) *Result {
+	n := g.NumVertices()
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = NoLevel
+	}
+	start := time.Now()
+	queue := make([]graph.VertexID, 0, 1024)
+	levels[source] = 0
+	queue = append(queue, graph.VertexID(source))
+	var visited int64 = 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := levels[v] + 1
+		for _, u := range g.Neighbors(int(v)) {
+			if levels[u] == NoLevel {
+				levels[u] = d
+				visited++
+				queue = append(queue, u)
+			}
+		}
+	}
+	res := &Result{Levels: levels, VisitedVertices: visited}
+	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Sources = 1
+	return res
+}
+
+// ReferenceLevels runs ReferenceBFS and returns only the level array;
+// a convenience for tests.
+func ReferenceLevels(g *graph.Graph, source int) []int32 {
+	return ReferenceBFS(g, source).Levels
+}

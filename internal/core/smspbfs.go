@@ -1,0 +1,388 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// StateRepr selects the dense array element type of SMS-PBFS (Section 3.2):
+// a bit per vertex maximizes cache efficiency, a byte per vertex reduces
+// contention between workers; the trade-off is evaluated in Figures 10-12.
+type StateRepr int
+
+const (
+	// BitState stores one bit per vertex (512 vertex states per cache
+	// line).
+	BitState StateRepr = iota
+	// ByteState stores one byte per vertex (64 vertex states per cache
+	// line).
+	ByteState
+)
+
+// String returns the paper's label for the representation.
+func (r StateRepr) String() string {
+	if r == ByteState {
+		return "byte"
+	}
+	return "bit"
+}
+
+// vertexSet abstracts the two dense state representations so one SMS-PBFS
+// implementation serves both variants. All methods mirror the semantics of
+// bitset.Bitmap / bitset.ByteMap.
+type vertexSet interface {
+	Get(v int) bool
+	Set(v int)
+	Clear(v int)
+	AtomicSet(v int) bool
+	ZeroRange(lo, hi int)
+	// ChunkWords returns the backing words (each covering ChunkSize
+	// vertices) for the zero-chunk skipping scan.
+	ChunkWords() []uint64
+	// ChunkSize is the number of vertices per backing word.
+	ChunkSize() int
+	MemoryBytes() int64
+}
+
+type bitSet struct{ *bitset.Bitmap }
+
+func (b bitSet) ChunkWords() []uint64 { return b.Words() }
+func (b bitSet) ChunkSize() int       { return 64 }
+
+type byteSet struct{ *bitset.ByteMap }
+
+func (b byteSet) ChunkWords() []uint64 { return b.Words() }
+func (b byteSet) ChunkSize() int       { return 8 }
+
+func newVertexSet(n int, repr StateRepr) vertexSet {
+	if repr == ByteState {
+		return byteSet{bitset.NewByteMap(n)}
+	}
+	return bitSet{bitset.NewBitmap(n)}
+}
+
+// SMSPBFS runs the parallel single-source BFS of Section 3.2 with the given
+// state representation. The algorithm follows Listings 3 (top-down) and 4
+// (bottom-up): boolean per-vertex state, a single idempotent atomic write in
+// the first top-down phase, and zero synchronization elsewhere. The
+// 64-vertex (bit) / 8-vertex (byte) chunk skipping avoids per-vertex checks
+// over inactive ranges.
+func SMSPBFS(g *graph.Graph, source int, repr StateRepr, opt Options) *Result {
+	e := NewSMSPBFSEngine(g, repr, opt)
+	defer e.Close()
+	return e.Run(source)
+}
+
+// SMSPBFSEngine holds reusable SMS-PBFS state so many single-source runs
+// can share allocations and the worker pool (SMS-PBFS processes a workload
+// "one single source at a time, utilizing all cores", Section 5.3).
+type SMSPBFSEngine struct {
+	g    *graph.Graph
+	opt  Options
+	repr StateRepr
+
+	pool     *sched.Pool
+	ownsPool bool
+	tq       *sched.TaskQueues
+
+	seen vertexSet
+	buf0 vertexSet
+	buf1 vertexSet
+
+	scanned  []padCounter
+	updated  []padCounter
+	frontDeg []padCounter
+
+	pageMap *numa.PageMap
+	tracker *numa.Tracker
+}
+
+// NewSMSPBFSEngine prepares an engine; Close releases the pool unless one
+// was supplied via Options.Pool.
+func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngine {
+	n := g.NumVertices()
+	pool, owns := opt.acquirePool()
+	workers := pool.Workers()
+	e := &SMSPBFSEngine{
+		g:        g,
+		opt:      opt,
+		repr:     repr,
+		pool:     pool,
+		ownsPool: owns,
+		tq:       sched.CreateTasks(n, opt.splitSize(), workers),
+		seen:     newVertexSet(n, repr),
+		buf0:     newVertexSet(n, repr),
+		buf1:     newVertexSet(n, repr),
+		scanned:  make([]padCounter, workers),
+		updated:  make([]padCounter, workers),
+		frontDeg: make([]padCounter, workers),
+	}
+	if opt.Topology.Sockets > 0 {
+		elemBytes := 1
+		if repr == BitState {
+			elemBytes = 1 // modeled per byte of the bitmap: 8 vertices/byte
+		}
+		// Model placement at vertex granularity of the byte variant; for
+		// the bit variant eight vertices share a modeled byte, which only
+		// makes the locality accounting coarser, not wrong.
+		e.pageMap = numa.NewPageMap(opt.Topology, n, elemBytes)
+		e.pageMap.PlaceFirstTouch(e.tq)
+		e.tracker = numa.NewTracker(opt.Topology)
+		if opt.Topology.Workers() == workers {
+			e.tq.SetStealOrder(numa.StealOrder(opt.Topology))
+		}
+	}
+	e.tq.Reset()
+	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	})
+	return e
+}
+
+// Close releases the engine's worker pool if the engine owns it.
+func (e *SMSPBFSEngine) Close() {
+	if e.ownsPool {
+		e.pool.Close()
+	}
+}
+
+// Run executes one single-source BFS. The engine's state arrays are reset
+// at the start, so Run can be called repeatedly.
+func (e *SMSPBFSEngine) Run(source int) *Result {
+	g, opt, n := e.g, e.opt, e.g.NumVertices()
+	rec := &iterRecorder{opt: opt}
+	var levels []int32
+	if opt.RecordLevels {
+		levels = make([]int32, n)
+		for i := range levels {
+			levels[i] = NoLevel
+		}
+	}
+
+	start := time.Now()
+	e.tq.Reset()
+	e.pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	})
+
+	frontier, next := e.buf0, e.buf1
+	e.seen.Set(source)
+	frontier.Set(source)
+	if levels != nil {
+		levels[source] = 0
+	}
+	if opt.OnVisit != nil {
+		opt.OnVisit(0, 0, source, 0)
+	}
+
+	var visited int64 = 1
+	frontVertices := int64(1)
+	frontEdges := int64(g.Degree(source))
+	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
+	bottomUp := opt.Direction == BottomUpOnly
+	depth := int32(0)
+
+	for frontVertices > 0 {
+		if opt.MaxDepth > 0 && int(depth) >= opt.MaxDepth {
+			break
+		}
+		depth++
+		iterStart := time.Now()
+		if opt.Direction == Auto {
+			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
+				bottomUp = true
+			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
+				bottomUp = false
+			}
+		}
+
+		resetCounters(e.scanned)
+		resetCounters(e.updated)
+		resetCounters(e.frontDeg)
+
+		var busy []time.Duration
+		if bottomUp {
+			busy = e.bottomUpIteration(frontier, next, levels, depth)
+		} else {
+			busy = e.topDownIteration(frontier, next, levels, depth)
+		}
+
+		updated := sumCounters(e.updated)
+		visited += updated
+		frontVertices = updated
+		frontEdges = sumCounters(e.frontDeg)
+		unexploredEdges -= frontEdges
+		if unexploredEdges < 0 {
+			unexploredEdges = 0
+		}
+		rec.record(int(depth), time.Since(iterStart), busy,
+			frontVertices, updated, sumCounters(e.scanned), bottomUp,
+			counterValues(e.scanned), counterValues(e.updated))
+
+		frontier, next = next, frontier
+	}
+	e.buf0, e.buf1 = frontier, next
+
+	res := &Result{Levels: levels, VisitedVertices: visited, NUMAStats: e.tracker}
+	res.Stats = metrics.RunStat{Elapsed: time.Since(start), Sources: 1, Iterations: rec.stats}
+	return res
+}
+
+// topDownIteration implements Listing 3: phase 1 pushes the frontier to
+// next with idempotent atomic marks and clears the frontier in place;
+// phase 2 resolves newly seen vertices without synchronization.
+func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
+	g, opt := e.g, e.opt
+	steal := !opt.DisableStealing
+	n := g.NumVertices()
+	chunk := frontier.ChunkSize()
+
+	e.tq.Reset()
+	busy1 := e.runPhase(steal, func(workerID int, r sched.Range) {
+		scanned := &e.scanned[workerID]
+		words := frontier.ChunkWords()
+		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		for wi := loW; wi < hiW; wi++ {
+			if words[wi] == 0 {
+				continue // chunk skip: no active vertex among these
+			}
+			base := wi * chunk
+			limit := base + chunk
+			if limit > n {
+				limit = n
+			}
+			for v := base; v < limit; v++ {
+				if !frontier.Get(v) {
+					continue
+				}
+				nbrs := g.Neighbors(v)
+				scanned.v += int64(len(nbrs))
+				if e.tracker == nil {
+					for _, nb := range nbrs {
+						// AtomicSet checks with an atomic load first, so
+						// the "only write if unset" optimization of
+						// Listing 3 line 4 happens without a data race on
+						// the word.
+						next.AtomicSet(int(nb))
+					}
+				} else {
+					for _, nb := range nbrs {
+						if next.AtomicSet(int(nb)) {
+							e.tracker.RecordElem(e.pageMap, workerID, int(nb))
+						}
+					}
+				}
+			}
+			words[wi] = 0 // frontier cleared in place (Listing 3 line 5)
+		}
+	})
+
+	e.tq.Reset()
+	busy2 := e.runPhase(steal, func(workerID int, r sched.Range) {
+		upd := &e.updated[workerID]
+		fd := &e.frontDeg[workerID]
+		if e.tracker != nil {
+			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+		}
+		words := next.ChunkWords()
+		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		for wi := loW; wi < hiW; wi++ {
+			if words[wi] == 0 {
+				continue
+			}
+			base := wi * chunk
+			limit := base + chunk
+			if limit > n {
+				limit = n
+			}
+			for v := base; v < limit; v++ {
+				if !next.Get(v) {
+					continue
+				}
+				if e.seen.Get(v) {
+					next.Clear(v) // reachable but already seen: drop
+					continue
+				}
+				e.seen.Set(v)
+				upd.v++
+				fd.v += int64(g.Degree(v))
+				if levels != nil {
+					levels[v] = depth
+				}
+				if opt.OnVisit != nil {
+					opt.OnVisit(workerID, 0, v, int(depth))
+				}
+			}
+		}
+	})
+	return sumBusy(busy1, busy2)
+}
+
+// bottomUpIteration implements Listing 4: unseen vertices scan their
+// neighbor lists for a frontier member; stale next bits of seen vertices
+// are scrubbed in the same pass so the buffers can swap roles.
+func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
+	g, opt := e.g, e.opt
+	steal := !opt.DisableStealing
+
+	e.tq.Reset()
+	return e.runPhase(steal, func(workerID int, r sched.Range) {
+		scanned := &e.scanned[workerID]
+		upd := &e.updated[workerID]
+		fd := &e.frontDeg[workerID]
+		if e.tracker != nil {
+			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+		}
+		for u := r.Lo; u < r.Hi; u++ {
+			if e.seen.Get(u) {
+				if next.Get(u) {
+					next.Clear(u) // Listing 4 lines 2-3
+				}
+				continue
+			}
+			found := false
+			for _, v := range g.Neighbors(u) {
+				scanned.v++
+				if frontier.Get(int(v)) {
+					found = true
+					break
+				}
+			}
+			if found {
+				next.Set(u)
+				e.seen.Set(u)
+				upd.v++
+				fd.v += int64(g.Degree(u))
+				if levels != nil {
+					levels[u] = depth
+				}
+				if opt.OnVisit != nil {
+					opt.OnVisit(workerID, 0, u, int(depth))
+				}
+			} else if next.Get(u) {
+				next.Clear(u) // scrub stale bit from two iterations ago
+			}
+		}
+	})
+}
+
+func (e *SMSPBFSEngine) runPhase(steal bool, body func(workerID int, r sched.Range)) []time.Duration {
+	if e.opt.PerWorkerTiming {
+		return e.pool.ParallelForTimed(e.tq, steal, body)
+	}
+	if steal {
+		e.pool.ParallelFor(e.tq, body)
+	} else {
+		e.pool.ParallelForStatic(e.tq, body)
+	}
+	return nil
+}

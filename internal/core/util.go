@@ -1,0 +1,7 @@
+package core
+
+import "math/bits"
+
+func onesCount(w uint64) int { return bits.OnesCount64(w) }
+
+func trailingZeros64(w uint64) int { return bits.TrailingZeros64(w) }

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newRNG(43)
+	same := true
+	a = newRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := newRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("intn(10) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("intn(0) did not panic")
+		}
+	}()
+	r.intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := newRNG(3)
+	p := r.perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("perm is not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestKroneckerProperties(t *testing.T) {
+	p := Graph500Params(10, 1)
+	g := Kronecker(p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 10
+	if g.NumVertices() != n {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), n)
+	}
+	// Edge factor 16 before dedup; after removing duplicates and
+	// self-loops we still expect a dense graph.
+	if g.NumEdges() < int64(n) {
+		t.Errorf("suspiciously few edges: %d", g.NumEdges())
+	}
+	if g.NumEdges() > int64(n)*16 {
+		t.Errorf("more edges than generated: %d", g.NumEdges())
+	}
+	// Power-law-ish: the max degree should far exceed the average.
+	avg := float64(2*g.NumEdges()) / float64(n)
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Errorf("max degree %d not skewed vs average %.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestKroneckerDeterminism(t *testing.T) {
+	a := Kronecker(Graph500Params(8, 5))
+	b := Kronecker(Graph500Params(8, 5))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			t.Fatal("same seed produced different adjacency")
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatal("same seed produced different adjacency")
+			}
+		}
+	}
+	c := Kronecker(Graph500Params(8, 6))
+	if c.NumEdges() == a.NumEdges() {
+		// Not impossible, but with different seeds the neighbor structure
+		// should differ somewhere.
+		diff := false
+		for v := 0; v < a.NumVertices() && !diff; v++ {
+			if len(a.Neighbors(v)) != len(c.Neighbors(v)) {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestLDBCProperties(t *testing.T) {
+	g := LDBC(LDBCDefaults(2000, 11))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	avg := float64(2*g.NumEdges()) / 2000
+	if avg < 2 || avg > 12 {
+		t.Errorf("average degree %.1f far from target 5", avg)
+	}
+	// Social structure: a dominant connected component.
+	_, sizes := graph.Components(g)
+	_, largest := graph.LargestComponent(sizes)
+	if float64(largest) < 0.5*2000 {
+		t.Errorf("largest component only %d of 2000 vertices", largest)
+	}
+}
+
+func TestLDBCEmpty(t *testing.T) {
+	g := LDBC(LDBCParams{})
+	if g.NumVertices() != 0 {
+		t.Error("empty params should give empty graph")
+	}
+}
+
+func TestPowerLawProperties(t *testing.T) {
+	g := PowerLaw(PowerLawParams{N: 3000, Exponent: 2.2, MinDegree: 2, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	avg := float64(2*g.NumEdges()) / 3000
+	// Truncated power law with alpha 2.2, min 2: the hubs must dominate.
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Errorf("max degree %d vs avg %.1f: not heavy-tailed", g.MaxDegree(), avg)
+	}
+}
+
+func TestWebProperties(t *testing.T) {
+	g := Web(WebParams{N: 4000, AvgDegree: 8, LocalityWindow: 32, Seed: 9})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Locality: most edges should connect nearby ids.
+	local, total := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if graph.VertexID(v) < u {
+				total++
+				if int(u)-v <= 32 {
+					local++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges generated")
+	}
+	if float64(local)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d edges are id-local; web stand-in lost locality", local, total)
+	}
+}
+
+func TestCollaborationProperties(t *testing.T) {
+	g := Collaboration(CollaborationParams{N: 2000, AvgCliqueSize: 6, AvgDegree: 20, Seed: 4})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(2*g.NumEdges()) / 2000
+	if avg < 5 {
+		t.Errorf("average degree %.1f too low for a collaboration graph", avg)
+	}
+	// Union of cliques implies many triangles; sample a few wedges.
+	triangles, wedges := 0, 0
+	for v := 0; v < 200; v++ {
+		nbrs := g.Neighbors(v)
+		for i := 0; i+1 < len(nbrs) && i < 5; i++ {
+			for j := i + 1; j < len(nbrs) && j < 6; j++ {
+				wedges++
+				if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+					triangles++
+				}
+			}
+		}
+	}
+	if wedges > 0 && float64(triangles)/float64(wedges) < 0.1 {
+		t.Errorf("clustering %d/%d too low for union-of-cliques", triangles, wedges)
+	}
+}
+
+func TestUniformProperties(t *testing.T) {
+	g := Uniform(1000, 10, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(2*g.NumEdges()) / 1000
+	if math.Abs(avg-10) > 2 {
+		t.Errorf("average degree %.1f, want ~10", avg)
+	}
+	// No skew: max degree close to average (Poisson tail).
+	if g.MaxDegree() > 40 {
+		t.Errorf("uniform graph has hub of degree %d", g.MaxDegree())
+	}
+}
+
+func TestUniformTiny(t *testing.T) {
+	if g := Uniform(0, 4, 1); g.NumVertices() != 0 {
+		t.Error("Uniform(0) not empty")
+	}
+	if g := Uniform(1, 4, 1); g.NumEdges() != 0 {
+		t.Error("single vertex graph has edges")
+	}
+}
+
+func TestKG0ParamsDense(t *testing.T) {
+	g := Kronecker(KG0Params(8, 64, 7))
+	avg := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if avg < 16 {
+		t.Errorf("KG0-like graph average degree %.1f; want dense", avg)
+	}
+}

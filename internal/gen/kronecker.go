@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// KroneckerParams configures the Graph500 Kronecker (R-MAT) generator.
+type KroneckerParams struct {
+	// Scale is log2 of the number of vertices.
+	Scale int
+	// EdgeFactor is the average number of undirected edges per vertex;
+	// the Graph500 benchmark uses 16.
+	EdgeFactor int
+	// A, B, C are the R-MAT quadrant probabilities; D = 1-A-B-C.
+	// Graph500 uses A=0.57, B=0.19, C=0.19 (D=0.05).
+	A, B, C float64
+	// Seed makes the generation deterministic.
+	Seed uint64
+	// BuildWorkers selects parallel CSR construction with that many
+	// workers (<=1: sequential). The resulting graph is identical either
+	// way; only construction time changes.
+	BuildWorkers int
+}
+
+// Graph500Params returns the standard Graph500 Kronecker parameters at the
+// given scale: edgefactor 16 and (A,B,C,D) = (0.57, 0.19, 0.19, 0.05).
+func Graph500Params(scale int, seed uint64) KroneckerParams {
+	return KroneckerParams{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// KG0Params returns a high-average-degree Kronecker configuration modeled
+// after the KG0 graph of the iBFS evaluation (Liu et al., SIGMOD 2016),
+// which used an average out-degree of 1024. At container scale we keep the
+// dense character with a smaller edge factor; callers can override.
+func KG0Params(scale, edgeFactor int, seed uint64) KroneckerParams {
+	return KroneckerParams{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// Kronecker generates an undirected Kronecker (R-MAT) graph. As in the
+// Graph500 reference generator, edge endpoints are independently sampled
+// quadrant by quadrant; self-loops and duplicate edges are discarded by the
+// CSR builder, and vertex ids are scrambled by a random permutation so that
+// vertex id carries no degree information (the labeling schemes under test
+// are applied afterwards and must not get the ordering for free).
+func Kronecker(p KroneckerParams) *graph.Graph {
+	n := 1 << uint(p.Scale)
+	m := int64(n) * int64(p.EdgeFactor)
+	r := newRNG(p.Seed)
+	b := graph.NewBuilder(n)
+
+	ab := p.A + p.B
+	cNorm := p.C / (1 - ab)
+
+	for i := int64(0); i < m; i++ {
+		var u, v int
+		for bit := 0; bit < p.Scale; bit++ {
+			// Choose the quadrant for this bit of (u, v).
+			f := r.float64()
+			var ubit, vbit int
+			if f < ab {
+				// Top half: u bit 0.
+				if f < p.A {
+					ubit, vbit = 0, 0
+				} else {
+					ubit, vbit = 0, 1
+				}
+			} else {
+				if r.float64() < cNorm {
+					ubit, vbit = 1, 0
+				} else {
+					ubit, vbit = 1, 1
+				}
+			}
+			u = u<<1 | ubit
+			v = v<<1 | vbit
+		}
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+
+	var g *graph.Graph
+	if p.BuildWorkers > 1 {
+		g = b.BuildParallel(p.BuildWorkers)
+	} else {
+		g = b.Build()
+	}
+
+	// Scramble vertex ids.
+	perm := r.perm(n)
+	newID := make([]graph.VertexID, n)
+	for v, id := range perm {
+		newID[v] = graph.VertexID(id)
+	}
+	return graph.Relabel(g, newID)
+}

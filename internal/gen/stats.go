@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Stats summarizes the structural properties the evaluation cares about:
+// degree distribution shape, clustering, and connectivity. Used to validate
+// that the real-world-graph stand-ins actually reproduce the statistics
+// they are meant to (DESIGN.md §3).
+type Stats struct {
+	Vertices   int
+	Edges      int64
+	AvgDegree  float64
+	MaxDegree  int
+	// PowerLawAlpha is the maximum-likelihood estimate of the degree
+	// distribution's power-law exponent for degrees >= PowerLawXMin
+	// (the Clauset-Shalizi-Newman discrete MLE with the standard -1/2
+	// continuity correction). Zero when too few vertices qualify.
+	PowerLawAlpha float64
+	PowerLawXMin  int
+	// GiniDegree is the Gini coefficient of the degree distribution:
+	// 0 = perfectly uniform degrees, ->1 = all edges on one hub.
+	GiniDegree float64
+	// LargestComponentFrac is the fraction of vertices in the largest
+	// connected component.
+	LargestComponentFrac float64
+	// ClusteringSample is the wedge-closure ratio estimated on a bounded
+	// sample of wedges.
+	ClusteringSample float64
+}
+
+// Analyze computes the statistics of g. Cost is O(V + E) plus a bounded
+// clustering sample, so it is fine to run on every generated benchmark
+// graph.
+func Analyze(g *graph.Graph) Stats {
+	n := g.NumVertices()
+	st := Stats{Vertices: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return st
+	}
+	st.AvgDegree = float64(2*st.Edges) / float64(n)
+	st.MaxDegree = g.MaxDegree()
+	st.PowerLawAlpha, st.PowerLawXMin = PowerLawAlphaMLE(g, 0)
+	st.GiniDegree = giniDegree(g)
+
+	_, sizes := graph.Components(g)
+	_, largest := graph.LargestComponent(sizes)
+	st.LargestComponentFrac = float64(largest) / float64(n)
+
+	st.ClusteringSample = clusteringSample(g, 20000)
+	return st
+}
+
+// PowerLawAlphaMLE estimates the power-law exponent of the degree
+// distribution for degrees >= xmin using the discrete maximum-likelihood
+// estimator alpha = 1 + m / sum(ln(d_i / (xmin - 0.5))). xmin <= 0 selects
+// a heuristic cut at the larger of 2 and the 90th percentile degree / 4.
+// It returns (0, xmin) when fewer than 10 vertices qualify.
+func PowerLawAlphaMLE(g *graph.Graph, xmin int) (alpha float64, usedXMin int) {
+	n := g.NumVertices()
+	degrees := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			degrees = append(degrees, d)
+		}
+	}
+	if len(degrees) == 0 {
+		return 0, xmin
+	}
+	if xmin <= 0 {
+		sorted := append([]int(nil), degrees...)
+		sort.Ints(sorted)
+		p90 := sorted[len(sorted)*9/10]
+		xmin = p90 / 4
+		if xmin < 2 {
+			xmin = 2
+		}
+	}
+	var sum float64
+	m := 0
+	lower := float64(xmin) - 0.5
+	for _, d := range degrees {
+		if d >= xmin {
+			sum += math.Log(float64(d) / lower)
+			m++
+		}
+	}
+	if m < 10 || sum == 0 {
+		return 0, xmin
+	}
+	return 1 + float64(m)/sum, xmin
+}
+
+// giniDegree computes the Gini coefficient of the degree sequence.
+func giniDegree(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	degrees := make([]int, n)
+	var total float64
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(v)
+		total += float64(degrees[v])
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Ints(degrees)
+	var weighted float64
+	for i, d := range degrees {
+		weighted += float64(i+1) * float64(d)
+	}
+	nf := float64(n)
+	return (2*weighted - (nf+1)*total) / (nf * total)
+}
+
+// clusteringSample estimates the global wedge-closure ratio by examining up
+// to maxWedges wedges spread deterministically over the vertices.
+func clusteringSample(g *graph.Graph, maxWedges int) float64 {
+	n := g.NumVertices()
+	wedges, closed := 0, 0
+	stride := 1
+	if n > 2000 {
+		stride = n / 2000
+	}
+	for v := 0; v < n && wedges < maxWedges; v += stride {
+		nbrs := g.Neighbors(v)
+		for i := 0; i+1 < len(nbrs) && i < 4 && wedges < maxWedges; i++ {
+			for j := i + 1; j < len(nbrs) && j < 5; j++ {
+				wedges++
+				if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+					closed++
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return float64(closed) / float64(wedges)
+}

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(graph.FromEdges(0, nil))
+	if st.Vertices != 0 || st.Edges != 0 {
+		t.Errorf("%+v", st)
+	}
+	st = Analyze(graph.FromEdges(5, nil))
+	if st.AvgDegree != 0 || st.GiniDegree != 0 {
+		t.Errorf("edgeless stats: %+v", st)
+	}
+}
+
+func TestPowerLawAlphaRecoversExponent(t *testing.T) {
+	// The configuration-model generator with a configured exponent should
+	// yield an MLE estimate in the right neighborhood. The truncation and
+	// simple-graph projection bias the estimate, so the tolerance is loose
+	// but still tight enough to catch a broken generator or estimator.
+	for _, want := range []float64{2.0, 2.5} {
+		g := PowerLaw(PowerLawParams{N: 30000, Exponent: want, MinDegree: 2, Seed: 7})
+		got, xmin := PowerLawAlphaMLE(g, 4)
+		if got == 0 {
+			t.Fatalf("exponent %v: estimator returned no estimate (xmin %d)", want, xmin)
+		}
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("exponent %v: estimated %.2f (xmin %d)", want, got, xmin)
+		}
+	}
+}
+
+func TestPowerLawAlphaUniformIsNotHeavyTailed(t *testing.T) {
+	// A uniform random graph has a Poisson-like degree tail; its fitted
+	// "alpha" must come out much steeper than a real power law's ~2.
+	g := Uniform(20000, 8, 3)
+	alpha, _ := PowerLawAlphaMLE(g, 8)
+	if alpha != 0 && alpha < 3 {
+		t.Errorf("uniform graph fitted alpha %.2f; expected steep (>3) or no fit", alpha)
+	}
+}
+
+func TestGiniDegreeOrdering(t *testing.T) {
+	uniform := Analyze(Uniform(5000, 8, 1)).GiniDegree
+	skewed := Analyze(PowerLaw(PowerLawParams{N: 5000, Exponent: 2.0, MinDegree: 1, Seed: 2})).GiniDegree
+	if skewed <= uniform {
+		t.Errorf("power-law Gini %.3f not above uniform %.3f", skewed, uniform)
+	}
+	if uniform < 0 || uniform > 1 || skewed < 0 || skewed > 1 {
+		t.Errorf("Gini out of range: %v %v", uniform, skewed)
+	}
+}
+
+func TestClusteringOrdering(t *testing.T) {
+	collab := Analyze(Collaboration(CollaborationParams{N: 3000, AvgCliqueSize: 6, AvgDegree: 20, Seed: 3}))
+	uniform := Analyze(Uniform(3000, 20, 3))
+	if collab.ClusteringSample <= uniform.ClusteringSample {
+		t.Errorf("collaboration clustering %.3f not above uniform %.3f",
+			collab.ClusteringSample, uniform.ClusteringSample)
+	}
+}
+
+func TestAnalyzeKroneckerShape(t *testing.T) {
+	st := Analyze(Kronecker(Graph500Params(12, 4)))
+	if st.LargestComponentFrac < 0.5 {
+		t.Errorf("Kronecker giant component fraction %.2f", st.LargestComponentFrac)
+	}
+	if st.GiniDegree < 0.3 {
+		t.Errorf("Kronecker degree Gini %.2f; expected skewed", st.GiniDegree)
+	}
+	if st.MaxDegree <= int(st.AvgDegree) {
+		t.Error("max degree not above average")
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces a deduplicated CSR
+// Graph. It tolerates self-loops and duplicate edges in the input (both are
+// dropped), which is what the R-MAT style generators produce.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// It panics on out-of-range endpoints; generators are expected to produce
+// valid ids and a panic here indicates a generator bug.
+func (b *Builder) AddEdge(u, v VertexID) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range for %d vertices", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v})
+}
+
+// NumPendingEdges returns the number of recorded (possibly duplicate) edges.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the CSR graph. The builder can be reused afterwards; its
+// edge buffer is consumed.
+func (b *Builder) Build() *Graph {
+	// Sort and deduplicate the canonicalized (u<v) edge list.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	dedup := b.edges[:0]
+	var last Edge
+	for i, e := range b.edges {
+		if i == 0 || e != last {
+			dedup = append(dedup, e)
+			last = e
+		}
+	}
+
+	// Counting pass: each undirected edge contributes to both endpoints.
+	offsets := make([]int64, b.n+1)
+	for _, e := range dedup {
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+
+	// Fill pass.
+	adj := make([]VertexID, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range dedup {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+
+	// Neighbor lists of U are already sorted (edges sorted by U then V),
+	// but lists receive entries from both passes interleaved, so sort each.
+	g := &Graph{Offsets: offsets, Adjacency: adj}
+	for v := 0; v < b.n; v++ {
+		nbrs := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	b.edges = nil
+	return g
+}
+
+// FromEdges builds a graph with n vertices directly from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// Relabel returns a new graph in which every vertex v of g has been renamed
+// to newID[v]. newID must be a permutation of [0, n); Relabel panics
+// otherwise, as a non-permutation silently corrupts the graph.
+func Relabel(g *Graph, newID []VertexID) *Graph {
+	n := g.NumVertices()
+	if len(newID) != n {
+		panic(fmt.Sprintf("graph: relabel permutation has %d entries for %d vertices", len(newID), n))
+	}
+	seen := make([]bool, n)
+	for _, id := range newID {
+		if int(id) >= n || seen[id] {
+			panic("graph: relabel mapping is not a permutation")
+		}
+		seen[id] = true
+	}
+
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[newID[v]+1] = int64(g.Degree(v))
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]VertexID, offsets[n])
+	for v := 0; v < n; v++ {
+		nv := newID[v]
+		dst := adj[offsets[nv] : offsets[nv]+int64(g.Degree(v))]
+		for i, u := range g.Neighbors(v) {
+			dst[i] = newID[u]
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	}
+	return &Graph{Offsets: offsets, Adjacency: adj}
+}
+
+// InversePermutation returns the inverse of the permutation p, i.e.
+// inv[p[v]] = v.
+func InversePermutation(p []VertexID) []VertexID {
+	inv := make([]VertexID, len(p))
+	for v, id := range p {
+		inv[id] = VertexID(v)
+	}
+	return inv
+}

@@ -1,0 +1,65 @@
+package graph
+
+// Components labels the connected components of g. It returns the component
+// id of every vertex (ids are dense, assigned in order of discovery) and the
+// size in vertices of each component. Isolated vertices form singleton
+// components.
+func Components(g *Graph) (comp []int32, sizes []int64) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []VertexID
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(sizes))
+		sizes = append(sizes, 0)
+		comp[s] = id
+		queue = append(queue[:0], VertexID(s))
+		var count int64 = 1
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(int(v)) {
+				if comp[u] < 0 {
+					comp[u] = id
+					count++
+					queue = append(queue, u)
+				}
+			}
+		}
+		sizes[id] = count
+	}
+	return comp, sizes
+}
+
+// ComponentEdges returns, for each component, the number of undirected edges
+// it contains (each edge counted once). This is the Graph500 definition of
+// the edges "traversed" by a BFS from a source in that component, used to
+// compute GTEPS.
+func ComponentEdges(g *Graph, comp []int32, numComponents int) []int64 {
+	edges := make([]int64, numComponents)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if VertexID(v) < u {
+				edges[comp[v]]++
+			}
+		}
+	}
+	return edges
+}
+
+// LargestComponent returns the id and vertex count of the largest component.
+// It returns (-1, 0) for an empty graph.
+func LargestComponent(sizes []int64) (id int32, size int64) {
+	id = -1
+	for i, s := range sizes {
+		if s > size {
+			id, size = int32(i), s
+		}
+	}
+	return id, size
+}

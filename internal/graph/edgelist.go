@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Edge-list text format support. This is the de-facto interchange format of
+// graph repositories (SNAP, KONECT, WebGraph dumps): one "u v" pair per
+// line, '#' or '%' comment lines, arbitrary (possibly sparse) vertex ids.
+// Loading compacts the ids to the dense [0, n) space the BFS kernels
+// require and treats every pair as an undirected edge, the graph model of
+// the paper.
+
+// LoadEdgeList parses an edge-list text stream. Vertex ids are arbitrary
+// non-negative integers; they are remapped to dense ids in order of first
+// appearance. The returned ids slice maps dense id -> original id.
+// Malformed lines produce an error naming the line number.
+func LoadEdgeList(r io.Reader) (g *Graph, ids []int64, err error) {
+	type pair struct{ u, v int }
+	var (
+		edges  []pair
+		remap  = make(map[int64]int)
+		lineNo = 0
+	)
+	intern := func(raw int64) int {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := len(ids)
+		remap[raw] = id
+		ids = append(ids, raw)
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		// Trim leading spaces cheaply.
+		i := 0
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i == len(line) || line[i] == '#' || line[i] == '%' {
+			continue
+		}
+		u, rest, perr := parseInt(line[i:])
+		if perr != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, perr)
+		}
+		v, rest, perr := parseInt(rest)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, perr)
+		}
+		// Extra columns (weights, timestamps) are tolerated and ignored.
+		_ = rest
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, pair{u: intern(u), v: intern(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+
+	b := NewBuilder(len(ids))
+	for _, e := range edges {
+		b.AddEdge(VertexID(e.u), VertexID(e.v))
+	}
+	return b.Build(), ids, nil
+}
+
+// parseInt reads one whitespace-delimited integer from b and returns the
+// remainder of the line.
+func parseInt(b []byte) (int64, []byte, error) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] != ' ' && b[i] != '\t' && b[i] != '\r' {
+		i++
+	}
+	if start == i {
+		return 0, nil, fmt.Errorf("missing integer field")
+	}
+	v, err := strconv.ParseInt(string(b[start:i]), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad integer %q", b[start:i])
+	}
+	return v, b[i:], nil
+}
+
+// SaveEdgeList writes g as an edge-list text file (each undirected edge
+// once, smaller endpoint first), suitable for interchange with other graph
+// tools.
+func SaveEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if VertexID(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, u); err != nil {
+					return fmt.Errorf("graph: writing edge list: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

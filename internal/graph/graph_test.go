@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// path builds the path graph 0-1-2-...-n-1.
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("self-loop created degree: %d", g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdges(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := FromEdges(5, nil)
+	if g2.NumVertices() != 5 || g2.NumEdges() != 0 {
+		t.Fatalf("edgeless graph: n=%d m=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	if g2.MaxDegree() != 0 {
+		t.Errorf("MaxDegree = %d", g2.MaxDegree())
+	}
+}
+
+func TestHasEdgeAndNeighbors(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 3}, {0, 1}, {3, 4}})
+	if !g.HasEdge(0, 3) || !g.HasEdge(3, 0) {
+		t.Error("HasEdge missing recorded edge")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("HasEdge reports absent edge")
+	}
+	nbrs := g.Neighbors(0)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Errorf("Neighbors(0) = %v, want [1 3]", nbrs)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{0, 1}, {1, 2}, {0, 4}, {3, 4}}
+	g := FromEdges(5, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(out), len(in))
+	}
+	g2 := FromEdges(5, out)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("edge round trip changed edge count")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(4) // degrees: 1,2,2,1
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+// Property: the builder preserves the canonical edge multiset (after
+// dedup/self-loop removal) for arbitrary edge lists.
+func TestQuickBuilderPreservesEdges(t *testing.T) {
+	const n = 16
+	f := func(raw []uint16) bool {
+		want := map[[2]VertexID]bool{}
+		b := NewBuilder(n)
+		for _, r := range raw {
+			u := VertexID(r>>8) % n
+			v := VertexID(r&0xff) % n
+			b.AddEdge(u, v)
+			if u != v {
+				if u > v {
+					u, v = v, u
+				}
+				want[[2]VertexID{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		got := g.Edges()
+		if len(got) != len(want) {
+			return false
+		}
+		for _, e := range got {
+			if !want[[2]VertexID{e.U, e.V}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := path(6)
+	id := make([]VertexID, 6)
+	for i := range id {
+		id[i] = VertexID(i)
+	}
+	g2 := Relabel(g, id)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Errorf("identity relabel changed degree of %d", v)
+		}
+	}
+}
+
+func TestRelabelPermutes(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	// Reverse the ids.
+	perm := []VertexID{3, 2, 1, 0}
+	g2 := Relabel(g, perm)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge {0,1} becomes {3,2}, etc.
+	if !g2.HasEdge(3, 2) || !g2.HasEdge(2, 1) || !g2.HasEdge(1, 0) {
+		t.Error("relabeled edges missing")
+	}
+	if g2.HasEdge(0, 3) {
+		t.Error("unexpected edge after relabel")
+	}
+}
+
+func TestRelabelRejectsNonPermutation(t *testing.T) {
+	g := path(3)
+	for _, bad := range [][]VertexID{
+		{0, 0, 1},    // duplicate
+		{0, 1},       // short
+		{0, 1, 3},    // out of range
+		{0, 1, 2, 3}, // long
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Relabel(%v) did not panic", bad)
+				}
+			}()
+			Relabel(g, bad)
+		}()
+	}
+}
+
+// Property: relabeling by a random permutation preserves the degree
+// multiset and edge count, and applying the inverse restores the graph.
+func TestQuickRelabelRoundTrip(t *testing.T) {
+	const n = 12
+	f := func(seed int64, raw []uint16) bool {
+		b := NewBuilder(n)
+		for _, r := range raw {
+			b.AddEdge(VertexID(r>>8)%n, VertexID(r&0xff)%n)
+		}
+		g := b.Build()
+
+		// Derive a permutation from the seed (Fisher-Yates on a fixed id
+		// slice using a simple LCG).
+		perm := make([]VertexID, n)
+		for i := range perm {
+			perm[i] = VertexID(i)
+		}
+		x := uint64(seed)
+		for i := n - 1; i > 0; i-- {
+			x = x*6364136223846793005 + 1442695040888963407
+			j := int(x % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+
+		g2 := Relabel(g, perm)
+		if g2.Validate() != nil || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		g3 := Relabel(g2, InversePermutation(perm))
+		if g3.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g3.Degree(v) != g.Degree(v) {
+				return false
+			}
+			a, c := g.Neighbors(v), g3.Neighbors(v)
+			for i := range a {
+				if a[i] != c[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	p := []VertexID{2, 0, 1}
+	inv := InversePermutation(p)
+	want := []VertexID{1, 2, 0}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Fatalf("inv = %v, want %v", inv, want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := path(4)
+	// Break symmetry: truncate vertex 3's adjacency by lying in offsets.
+	g.Offsets[4] = g.Offsets[3]
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted inconsistent offsets")
+	}
+
+	g = path(4)
+	g.Adjacency[0] = 99 // out of range
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range neighbor")
+	}
+
+	g = path(4)
+	g.Adjacency[0] = 0 // self loop at vertex 0
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted self-loop")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+	g := FromEdges(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	comp, sizes := Components(g)
+	if len(sizes) != 3 {
+		t.Fatalf("found %d components, want 3", len(sizes))
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("vertices 0,1,2 not in one component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("vertices 3,4 misassigned")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("isolated vertex 5 should be its own component")
+	}
+	id, size := LargestComponent(sizes)
+	if size != 3 || id != comp[0] {
+		t.Errorf("LargestComponent = (%d, %d)", id, size)
+	}
+
+	edges := ComponentEdges(g, comp, len(sizes))
+	if edges[comp[0]] != 2 || edges[comp[3]] != 1 || edges[comp[5]] != 0 {
+		t.Errorf("ComponentEdges = %v", edges)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	id, size := LargestComponent(nil)
+	if id != -1 || size != 0 {
+		t.Errorf("LargestComponent(nil) = (%d, %d)", id, size)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// 0-1-2-3 path plus isolated 4; keep {1,2,4}.
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	keep := []bool{false, true, true, false, true}
+	sub, oldID := InducedSubgraph(g, keep)
+	if sub.NumVertices() != 3 {
+		t.Fatalf("n = %d", sub.NumVertices())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 1 { // only 1-2 survives
+		t.Errorf("m = %d", sub.NumEdges())
+	}
+	want := []VertexID{1, 2, 4}
+	for i, o := range oldID {
+		if o != want[i] {
+			t.Errorf("oldID = %v, want %v", oldID, want)
+		}
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Error("surviving edge missing")
+	}
+}
+
+func TestInducedSubgraphMaskMismatchPanics(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("short mask did not panic")
+		}
+	}()
+	InducedSubgraph(g, []bool{true})
+}
+
+func TestLargestComponentSubgraph(t *testing.T) {
+	// Components: {0,1,2} and {3,4}.
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	sub, oldID := LargestComponentSubgraph(g)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range oldID {
+		if int(o) > 2 {
+			t.Errorf("kept vertex %d from the smaller component", o)
+		}
+	}
+	// Single connected component afterwards.
+	_, sizes := Components(sub)
+	if len(sizes) != 1 {
+		t.Errorf("subgraph has %d components", len(sizes))
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := FromEdges(6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: n=%d m=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: neighbor count differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: neighbors differ", v)
+			}
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	g := FromEdges(0, nil)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 0 || g2.NumEdges() != 0 {
+		t.Error("empty graph round trip failed")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	_, err := Load(bytes.NewReader(make([]byte, 64)))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {2, 3}})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 12, 20, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptOffsets(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {2, 3}})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Offsets start after magic(8)+version(4)+n(8)+m(8) = 28 bytes.
+	// Make offsets[1] > offsets[2] (non-monotone).
+	binary.LittleEndian.PutUint64(data[28+8:], 1000)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt offsets not detected")
+	}
+}
+
+func TestLoadRejectsCorruptAdjacency(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Adjacency is the last 2 uint32s; point one out of range.
+	binary.LittleEndian.PutUint32(data[len(data)-4:], 77)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("out-of-range adjacency not detected")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint32(data[8:], 99)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version not rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g2.NumEdges())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}

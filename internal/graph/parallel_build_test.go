@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 1}, {2, 1}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		seqB := NewBuilder(4)
+		parB := NewBuilder(4)
+		for _, e := range edges {
+			seqB.AddEdge(e.U, e.V)
+			parB.AddEdge(e.U, e.V)
+		}
+		seq := seqB.Build()
+		par := parB.BuildParallel(workers)
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !graphsEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel build differs", workers)
+		}
+	}
+}
+
+func TestBuildParallelEmpty(t *testing.T) {
+	g := NewBuilder(5).BuildParallel(4)
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Errorf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	g0 := NewBuilder(0).BuildParallel(4)
+	if g0.NumVertices() != 0 {
+		t.Error("empty build wrong")
+	}
+}
+
+// Property: for random edge multisets and worker counts, BuildParallel is
+// byte-identical to Build.
+func TestQuickBuildParallelEquivalence(t *testing.T) {
+	f := func(raw []uint16, rawWorkers uint8) bool {
+		const n = 50
+		workers := int(rawWorkers)%8 + 1
+		seqB := NewBuilder(n)
+		parB := NewBuilder(n)
+		for _, r := range raw {
+			u := VertexID(r>>8) % n
+			v := VertexID(r&0xff) % n
+			seqB.AddEdge(u, v)
+			parB.AddEdge(u, v)
+		}
+		seq := seqB.Build()
+		par := parB.BuildParallel(workers)
+		return par.Validate() == nil && graphsEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildParallelLargeSkewed(t *testing.T) {
+	// A hub-heavy edge set exercises bucket imbalance.
+	const n = 10000
+	seqB := NewBuilder(n)
+	parB := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		seqB.AddEdge(0, VertexID(i))
+		parB.AddEdge(0, VertexID(i))
+		seqB.AddEdge(VertexID(i), VertexID((i*7)%n))
+		parB.AddEdge(VertexID(i), VertexID((i*7)%n))
+	}
+	seq := seqB.Build()
+	par := parB.BuildParallel(3)
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(seq, par) {
+		t.Fatal("skewed parallel build differs")
+	}
+}
+
+func BenchmarkBuildSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bb := benchEdges(1 << 16)
+		b.StartTimer()
+		bb.Build()
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bb := benchEdges(1 << 16)
+		b.StartTimer()
+		bb.BuildParallel(4)
+	}
+}
+
+// benchEdges synthesizes a deterministic pseudo-random edge list.
+func benchEdges(m int) *Builder {
+	const n = 1 << 14
+	bb := NewBuilder(n)
+	x := uint64(12345)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for i := 0; i < m; i++ {
+		bb.AddEdge(VertexID(next()%n), VertexID(next()%n))
+	}
+	return bb
+}

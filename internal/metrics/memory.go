@@ -1,0 +1,47 @@
+package metrics
+
+// MemoryModel reproduces the analytical memory comparison of Figure 3: the
+// dynamic BFS state of MS-BFS (one sequential instance per thread) versus
+// MS-PBFS (a single shared instance) relative to the size of the analyzed
+// graph. The paper calculates graph size from 16 edges per vertex (the
+// Graph500 Kronecker edge factor), 32-bit vertex ids and 8 bytes per
+// undirected edge.
+type MemoryModel struct {
+	// EdgeFactor is the assumed average undirected edges per vertex.
+	EdgeFactor int
+	// BitsetWords is the per-vertex BFS state width in 64-bit words.
+	BitsetWords int
+}
+
+// DefaultMemoryModel matches the paper's Figure 3 assumptions: edge factor
+// 16 and 64-BFS batches (one word).
+func DefaultMemoryModel() MemoryModel {
+	return MemoryModel{EdgeFactor: 16, BitsetWords: 1}
+}
+
+// GraphBytes is the modeled graph size for n vertices: 8 bytes per edge
+// (two 32-bit endpoints) plus the CSR offsets array.
+func (m MemoryModel) GraphBytes(n int64) int64 {
+	return n*int64(m.EdgeFactor)*8 + (n+1)*8
+}
+
+// InstanceStateBytes is the dynamic state of one MS-BFS/MS-PBFS instance:
+// three arrays (seen, frontier, next) of one bitset per vertex.
+func (m MemoryModel) InstanceStateBytes(n int64) int64 {
+	return 3 * n * int64(m.BitsetWords) * 8
+}
+
+// MSBFSOverhead returns the ratio of total MS-BFS dynamic state to graph
+// size when running one sequential instance per thread (Figure 3's rising
+// line): threads × instance state / graph.
+func (m MemoryModel) MSBFSOverhead(n int64, threads int) float64 {
+	return float64(int64(threads)*m.InstanceStateBytes(n)) / float64(m.GraphBytes(n))
+}
+
+// MSPBFSOverhead returns the ratio for MS-PBFS, which shares a single
+// instance across all threads regardless of the thread count (Figure 3's
+// flat line).
+func (m MemoryModel) MSPBFSOverhead(n int64, threads int) float64 {
+	_ = threads
+	return float64(m.InstanceStateBytes(n)) / float64(m.GraphBytes(n))
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool is a set of persistent worker goroutines that execute the parallel
+// vertex loops of the BFS kernels. Workers are created once per BFS run and
+// reused across phases and iterations, mirroring the paper's pinned worker
+// threads: each worker optionally locks itself to an OS thread, which is
+// the closest portable equivalent to CPU pinning available in Go (the NUMA
+// placement itself is modeled by internal/numa; see DESIGN.md §3).
+type Pool struct {
+	workers int
+	jobs    []chan phaseJob
+	wg      sync.WaitGroup
+
+	// busy accumulates per-worker busy time for the current measured
+	// window; guarded by timing channel handoff (written only by the
+	// owning worker between phases).
+	busy []time.Duration
+
+	closed bool
+}
+
+// phaseJob is one parallel phase: every worker runs the loop body over
+// fetched task ranges until the queues drain.
+type phaseJob struct {
+	tq      *TaskQueues
+	body    func(workerID int, r Range)
+	steal   bool
+	done    *sync.WaitGroup
+	timings []time.Duration // len == workers; each worker writes its slot
+	panics  chan any
+}
+
+// NewPool starts a pool with the given number of workers. lockThreads pins
+// each worker to an OS thread for the pool's lifetime.
+func NewPool(workers int, lockThreads bool) *Pool {
+	if workers < 1 {
+		panic("sched: pool needs at least one worker")
+	}
+	p := &Pool{
+		workers: workers,
+		jobs:    make([]chan phaseJob, workers),
+		busy:    make([]time.Duration, workers),
+	}
+	for w := 0; w < workers; w++ {
+		p.jobs[w] = make(chan phaseJob, 1)
+		p.wg.Add(1)
+		go p.workerLoop(w, lockThreads)
+	}
+	return p
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) workerLoop(workerID int, lockThread bool) {
+	defer p.wg.Done()
+	if lockThread {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for job := range p.jobs[workerID] {
+		start := time.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case job.panics <- r:
+					default:
+					}
+				}
+			}()
+			offsetHint := 0
+			if job.steal {
+				for {
+					rg, ok := job.tq.Fetch(workerID, &offsetHint)
+					if !ok {
+						break
+					}
+					job.body(workerID, rg)
+				}
+			} else {
+				for {
+					rg, ok := job.tq.FetchLocal(workerID)
+					if !ok {
+						break
+					}
+					job.body(workerID, rg)
+				}
+			}
+		}()
+		elapsed := time.Since(start)
+		p.busy[workerID] += elapsed
+		if job.timings != nil {
+			job.timings[workerID] = elapsed
+		}
+		job.done.Done()
+	}
+}
+
+// run executes one phase and blocks until all workers have drained the
+// queues. If any worker's body panicked, run re-panics the first panic in
+// the caller's goroutine so failures in parallel loops surface like
+// failures in sequential ones.
+func (p *Pool) run(tq *TaskQueues, steal bool, timings []time.Duration, body func(workerID int, r Range)) {
+	if p.closed {
+		panic("sched: pool used after Close")
+	}
+	var done sync.WaitGroup
+	done.Add(p.workers)
+	panics := make(chan any, 1)
+	job := phaseJob{tq: tq, body: body, steal: steal, done: &done, timings: timings, panics: panics}
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] <- job
+	}
+	done.Wait()
+	select {
+	case r := <-panics:
+		panic(fmt.Sprintf("sched: worker panicked: %v", r))
+	default:
+	}
+}
+
+// ParallelFor runs body over all vertex ranges of tq with work stealing.
+// The queues' cursors are consumed; call tq.Reset to reuse the layout.
+func (p *Pool) ParallelFor(tq *TaskQueues, body func(workerID int, r Range)) {
+	p.run(tq, true, nil, body)
+}
+
+// ParallelForStatic runs body with stealing disabled: every worker
+// processes exactly its own queue. Used for NUMA-deterministic
+// initialization and the static-partitioning experiments.
+func (p *Pool) ParallelForStatic(tq *TaskQueues, body func(workerID int, r Range)) {
+	p.run(tq, false, nil, body)
+}
+
+// ParallelForTimed is ParallelFor that additionally reports each worker's
+// busy time for this phase (used by the skew and utilization experiments).
+// The returned slice has one entry per worker.
+func (p *Pool) ParallelForTimed(tq *TaskQueues, steal bool, body func(workerID int, r Range)) []time.Duration {
+	timings := make([]time.Duration, p.workers)
+	p.run(tq, steal, timings, body)
+	return timings
+}
+
+// ResetBusy zeroes the accumulated per-worker busy time counters.
+func (p *Pool) ResetBusy() {
+	for i := range p.busy {
+		p.busy[i] = 0
+	}
+}
+
+// Busy returns a copy of the accumulated per-worker busy times since the
+// last ResetBusy. It must not be called while a phase is running.
+func (p *Pool) Busy() []time.Duration {
+	out := make([]time.Duration, len(p.busy))
+	copy(out, p.busy)
+	return out
+}
+
+// Close shuts the workers down. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.wg.Wait()
+}

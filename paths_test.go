@@ -1,0 +1,168 @@
+package msbfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pathOf(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: uint32(i), V: uint32(i + 1)})
+	}
+	return NewGraph(n, edges)
+}
+
+func TestShortestPathOnPath(t *testing.T) {
+	g := pathOf(10)
+	p := g.ShortestPath(2, 7)
+	want := []int{2, 3, 4, 5, 6, 7}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestShortestPathSelfAndAdjacent(t *testing.T) {
+	g := pathOf(4)
+	if p := g.ShortestPath(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Errorf("self path = %v", p)
+	}
+	if p := g.ShortestPath(1, 2); len(p) != 2 || p[0] != 1 || p[1] != 2 {
+		t.Errorf("adjacent path = %v", p)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if p := g.ShortestPath(0, 3); p != nil {
+		t.Errorf("unreachable pair returned %v", p)
+	}
+}
+
+// Property: on random graphs, ShortestPath length-1 equals the BFS
+// distance, endpoints are correct, and consecutive hops are edges.
+func TestQuickShortestPathMatchesBFS(t *testing.T) {
+	f := func(seed uint16, rawS, rawT uint8) bool {
+		g := GenerateUniform(120, 3, uint64(seed)+5)
+		s := int(rawS) % 120
+		u := int(rawT) % 120
+		res := g.SequentialBFS(s)
+		p := g.ShortestPath(s, u)
+		if res.Levels[u] == NoLevel {
+			return p == nil
+		}
+		if p == nil || p[0] != s || p[len(p)-1] != u {
+			return false
+		}
+		if int32(len(p)-1) != res.Levels[u] {
+			return false
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !hasNeighbor(g, p[i], p[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetweennessOnPath(t *testing.T) {
+	// Path 0-1-2-3-4: exact betweenness of the middle is 4 (pairs
+	// {0,1}x{3,4} plus {1,3} via 2 -> pairs (0,3),(0,4),(1,3),(1,4) and
+	// (2 excluded) -> 2 is on 4 shortest paths... computed below against
+	// the textbook values for a path: B(v) = (i)(n-1-i) for position i.
+	n := 5
+	g := pathOf(n)
+	all := []int{0, 1, 2, 3, 4}
+	b := g.Betweenness(all, Options{Workers: 2})
+	for i := 0; i < n; i++ {
+		want := float64(i * (n - 1 - i))
+		if math.Abs(b[i]-want) > 1e-9 {
+			t.Errorf("betweenness[%d] = %v, want %v", i, b[i], want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with center 0 and 4 leaves: center lies on all C(4,2)=6 pairs.
+	edges := []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}}
+	g := NewGraph(5, edges)
+	b := g.Betweenness([]int{0, 1, 2, 3, 4}, Options{Workers: 2})
+	if math.Abs(b[0]-6) > 1e-9 {
+		t.Errorf("center betweenness = %v, want 6", b[0])
+	}
+	for v := 1; v < 5; v++ {
+		if math.Abs(b[v]) > 1e-9 {
+			t.Errorf("leaf %d betweenness = %v, want 0", v, b[v])
+		}
+	}
+}
+
+func TestBetweennessEqualPathSplit(t *testing.T) {
+	// Square 0-1-2-3-0: two shortest paths between opposite corners, each
+	// middle vertex carries half a pair from each diagonal: B = 0.5 each.
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}
+	g := NewGraph(4, edges)
+	b := g.Betweenness([]int{0, 1, 2, 3}, Options{Workers: 2})
+	for v, c := range b {
+		if math.Abs(c-0.5) > 1e-9 {
+			t.Errorf("betweenness[%d] = %v, want 0.5", v, c)
+		}
+	}
+}
+
+func TestBetweennessParallelMatchesSequential(t *testing.T) {
+	g := GenerateSocial(400, 8)
+	all := make([]int, g.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	seq := g.Betweenness(all, Options{Workers: 1})
+	par := g.Betweenness(all, Options{Workers: 3})
+	for v := range seq {
+		if math.Abs(seq[v]-par[v]) > 1e-6*(1+math.Abs(seq[v])) {
+			t.Fatalf("betweenness[%d]: sequential %v, parallel %v", v, seq[v], par[v])
+		}
+	}
+}
+
+func TestMaxDepthLimitsTraversal(t *testing.T) {
+	g := pathOf(20)
+	res := g.BFS(0, Options{Workers: 2, MaxDepth: 5, RecordLevels: true})
+	for v := 0; v < 20; v++ {
+		if v <= 5 && res.Levels[v] != int32(v) {
+			t.Errorf("vertex %d level %d, want %d", v, res.Levels[v], v)
+		}
+		if v > 5 && res.Levels[v] != NoLevel {
+			t.Errorf("vertex %d beyond MaxDepth has level %d", v, res.Levels[v])
+		}
+	}
+	if res.VisitedVertices != 6 {
+		t.Errorf("visited %d, want 6", res.VisitedVertices)
+	}
+
+	multi := g.MultiBFS([]int{0, 19}, Options{Workers: 2, MaxDepth: 3, RecordLevels: true})
+	if multi.Levels[0][3] != 3 || multi.Levels[0][4] != NoLevel {
+		t.Error("multi-source MaxDepth wrong for source 0")
+	}
+	if multi.Levels[1][16] != 3 || multi.Levels[1][15] != NoLevel {
+		t.Error("multi-source MaxDepth wrong for source 19")
+	}
+}
+
+func TestNeighborhoodSizesWithPrunedTraversal(t *testing.T) {
+	g := pathOf(30)
+	sizes := g.NeighborhoodSizes([]int{15}, 4, Options{Workers: 2})
+	if sizes[0] != 9 { // 15 +/- 4 and itself
+		t.Errorf("4-hop neighborhood = %d, want 9", sizes[0])
+	}
+}

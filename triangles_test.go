@@ -1,0 +1,78 @@
+package msbfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  int64
+	}{
+		{"triangle", 3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 1},
+		{"square", 4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}, 0},
+		{"square+diag", 4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2}}, 2},
+		{"k4", 4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}, 4},
+		{"path", 5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}, 0},
+		{"empty", 3, nil, 0},
+	}
+	for _, c := range cases {
+		g := NewGraph(c.n, c.edges)
+		for _, workers := range []int{1, 3} {
+			if got := g.Triangles(Options{Workers: workers}); got != c.want {
+				t.Errorf("%s (workers=%d): %d triangles, want %d", c.name, workers, got, c.want)
+			}
+		}
+	}
+}
+
+// bruteTriangles is the O(n^3) oracle.
+func bruteTriangles(g *Graph) int64 {
+	n := g.NumVertices()
+	var count int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !hasNeighbor(g, u, v) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if hasNeighbor(g, u, w) && hasNeighbor(g, v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestQuickTrianglesMatchBrute(t *testing.T) {
+	f := func(seed uint16, rawWorkers uint8) bool {
+		g := GenerateUniform(40, 6, uint64(seed)+13)
+		workers := int(rawWorkers)%4 + 1
+		return g.Triangles(Options{Workers: workers}) == bruteTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	// K4: every wedge closes -> clustering 1.
+	k4 := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}})
+	if c := k4.GlobalClustering(Options{Workers: 2}); math.Abs(c-1) > 1e-12 {
+		t.Errorf("K4 clustering = %v, want 1", c)
+	}
+	// Star: no triangles.
+	star := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	if c := star.GlobalClustering(Options{}); c != 0 {
+		t.Errorf("star clustering = %v", c)
+	}
+	// Edgeless: no wedges.
+	if c := NewGraph(3, nil).GlobalClustering(Options{}); c != 0 {
+		t.Errorf("empty clustering = %v", c)
+	}
+}

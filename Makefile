@@ -1,0 +1,46 @@
+GO ?= go
+PKGS := ./...
+
+# Analyzer testdata is deliberately unformatted-looking Go that must not be
+# rewritten by tooling; everything else is held to gofmt.
+GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
+
+.PHONY: all build test lint vet race debug ci fmt
+
+all: build
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+fmt:
+	gofmt -w $(GOFILES)
+
+# lint = formatting check + stock vet + the project's own analyzers.
+lint: vet
+	@out=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# vet = stock go vet plus the concurrency analyzers in cmd/bfsvet
+# (atomicword, hotalloc, waitgroupleak — see docs/ANALYSIS.md).
+vet:
+	$(GO) vet $(PKGS)
+	$(GO) run ./cmd/bfsvet $(PKGS)
+
+# race = the race-detector stress suite. -short keeps the long benchmarks
+# out; the *_race_test.go / contended stress tests always run.
+race:
+	$(GO) test -race -short $(PKGS)
+
+# debug = the test suite with the bfsdebug invariant layer live
+# (per-iteration frontier/seen cross-checks + reference-BFS distance
+# verification; see docs/ANALYSIS.md).
+debug:
+	$(GO) test -tags bfsdebug ./internal/core/...
+
+# ci mirrors .github/workflows/ci.yml.
+ci: build lint test race debug

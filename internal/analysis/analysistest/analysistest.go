@@ -1,0 +1,134 @@
+// Package analysistest runs an analyzer over golden testdata packages and
+// checks its diagnostics against // want comments, mirroring the subset of
+// golang.org/x/tools/go/analysis/analysistest this repository needs.
+//
+// A testdata package lives at <testdata>/src/<name>/ and is an ordinary
+// compilable package (standard-library imports only). Expected diagnostics
+// are declared on the offending line:
+//
+//	words[i] |= mask // want `non-atomic \|= on \[\]uint64`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression that must match the message of a diagnostic reported on that
+// line; unmatched expectations and unexpected diagnostics both fail the
+// test. `// want` comments with no diagnostic prove an analyzer fires; lines
+// without `want` prove it stays quiet.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the expectation strings of a // want comment: backquoted
+// or double-quoted Go string literals.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each testdata package, applies the analyzer, and reports any
+// mismatch between produced diagnostics and // want expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", pkg), a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	expectations := collectExpectations(t, pkg)
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		if !matchExpectation(expectations, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// collectExpectations parses // want comments out of the package's files.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, lit := range wantRE.FindAllString(text[len("want"):], -1) {
+					pat, err := unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	return strconv.Unquote(lit)
+}
+
+// matchExpectation marks and returns whether some unmatched expectation on
+// the finding's line matches its message.
+func matchExpectation(expectations []*expectation, f analysis.Finding) bool {
+	for _, e := range expectations {
+		if e.matched || e.file != f.Position.Filename || e.line != f.Position.Line {
+			continue
+		}
+		if e.pattern.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Position is re-exported so analyzer tests can build positions if needed.
+type Position = token.Position

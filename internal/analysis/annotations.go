@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation directives understood by the bfsvet analyzers. A directive is a
+// line comment of the form //bfs:<name>, optionally followed by free-text
+// justification, placed either on the annotated line, on the line directly
+// above it, or (for function-scoped directives) in the doc comment of the
+// enclosing function declaration. See docs/ANALYSIS.md.
+const (
+	// DirectiveHot marks a loop as a no-allocation zone (hotalloc).
+	DirectiveHot = "bfs:hot"
+	// DirectiveAllocOK suppresses hotalloc for one allocation site inside a
+	// hot loop; requires a justification.
+	DirectiveAllocOK = "bfs:alloc-ok"
+	// DirectiveSingleWriter suppresses atomicword for a statement or a whole
+	// function whose plain bitset-word writes are single-writer by design.
+	DirectiveSingleWriter = "bfs:singlewriter"
+	// DirectiveDetached suppresses waitgroupleak for an intentionally
+	// fire-and-forget goroutine.
+	DirectiveDetached = "bfs:detached"
+)
+
+// Annotations indexes every comment line of a set of files so analyzers can
+// ask "is this position annotated with directive X" in O(1).
+type Annotations struct {
+	fset *token.FileSet
+	// lines maps filename -> line -> concatenated comment text on that line.
+	lines map[string]map[int]string
+}
+
+// NewAnnotations indexes the comments of files.
+func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, lines: map[string]map[int]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Slash)
+				m := a.lines[pos.Filename]
+				if m == nil {
+					m = map[int]string{}
+					a.lines[pos.Filename] = m
+				}
+				m[pos.Line] += c.Text
+			}
+		}
+	}
+	return a
+}
+
+// Marked reports whether pos's line, or the line directly above it, carries
+// the given directive.
+func (a *Annotations) Marked(pos token.Pos, directive string) bool {
+	p := a.fset.Position(pos)
+	m := a.lines[p.Filename]
+	if m == nil {
+		return false
+	}
+	return hasDirective(m[p.Line], directive) || hasDirective(m[p.Line-1], directive)
+}
+
+// DocMarked reports whether the doc comment of fn carries the directive,
+// scoping it to the whole function body.
+func DocMarked(fn *ast.FuncDecl, directive string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if hasDirective(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether comment text contains //bfs:<name> as a whole
+// token (so bfs:hot does not match bfs:hotfix).
+func hasDirective(text, directive string) bool {
+	for rest := text; ; {
+		i := strings.Index(rest, directive)
+		if i < 0 {
+			return false
+		}
+		after := rest[i+len(directive):]
+		if after == "" || !isDirectiveChar(after[0]) {
+			return true
+		}
+		rest = after
+	}
+}
+
+func isDirectiveChar(b byte) bool {
+	return b == '-' || b == ':' ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}

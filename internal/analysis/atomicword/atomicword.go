@@ -1,0 +1,112 @@
+// Package atomicword defines an analyzer that flags raw read-modify-write
+// operations on []uint64 bitset words outside internal/bitset.
+//
+// The MS-PBFS concurrency model (paper Section 3.1.1) allows concurrent
+// mutation of the shared seen/visit/visitNext arrays only through the
+// per-word CAS-OR primitives of internal/bitset. A direct |=, &^=, ^= or
+// index assignment on a []uint64 word compiles and usually works — until two
+// workers hit the same word, at which point a lost update silently corrupts
+// the BFS result instead of crashing. This pass forces every such write to
+// go through the bitset API or to carry an explicit //bfs:singlewriter
+// annotation naming the reason the plain write cannot race (for example the
+// second top-down phase, where each vertex is owned by exactly one worker).
+package atomicword
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ExemptSuffix is the import-path suffix of the one package allowed to
+// manipulate bitset words directly: the package that implements the API.
+const ExemptSuffix = "internal/bitset"
+
+// Analyzer flags non-atomic writes to []uint64 elements.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicword",
+	Doc: "flags non-atomic |=, &^=, ^=, &=, =, ++ and -- on []uint64 words outside internal/bitset; " +
+		"use the bitset CAS-OR API or annotate //bfs:singlewriter with a justification",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), ExemptSuffix) {
+		return nil, nil
+	}
+	ann := analysis.NewAnnotations(pass.Fset, pass.Files)
+
+	for _, file := range pass.Files {
+		// funcStack tracks enclosing function declarations so a
+		// //bfs:singlewriter doc comment can cover a whole function.
+		var funcStack []*ast.FuncDecl
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, n)
+				ast.Inspect(n.Body, visit)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.AssignStmt:
+				if op := rmwOp(n.Tok); op != "" || n.Tok == token.ASSIGN {
+					for _, lhs := range n.Lhs {
+						checkTarget(pass, ann, funcStack, n.Pos(), lhs, n.Tok.String())
+					}
+				}
+			case *ast.IncDecStmt:
+				checkTarget(pass, ann, funcStack, n.Pos(), n.X, n.Tok.String())
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil, nil
+}
+
+// rmwOp returns a non-empty name for read-modify-write assignment tokens.
+func rmwOp(tok token.Token) string {
+	switch tok {
+	case token.OR_ASSIGN, token.AND_NOT_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN,
+		token.ADD_ASSIGN, token.SUB_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+		return tok.String()
+	}
+	return ""
+}
+
+// checkTarget reports lhs if it is an index expression into a []uint64.
+func checkTarget(pass *analysis.Pass, ann *analysis.Annotations, funcStack []*ast.FuncDecl, pos token.Pos, lhs ast.Expr, op string) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[idx.X]
+	if !ok || !isUint64Slice(tv.Type) {
+		return
+	}
+	if ann.Marked(pos, analysis.DirectiveSingleWriter) {
+		return
+	}
+	for _, fn := range funcStack {
+		if analysis.DocMarked(fn, analysis.DirectiveSingleWriter) {
+			return
+		}
+	}
+	pass.Reportf(lhs.Pos(),
+		"non-atomic %s on []uint64 bitset word; route the write through the bitset CAS-OR API or annotate //bfs:singlewriter",
+		op)
+}
+
+// isUint64Slice reports whether t is []uint64 (possibly via a named slice
+// type; named element types that alias uint64 also count).
+func isUint64Slice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -1,0 +1,12 @@
+package atomicword_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicword"
+)
+
+func TestAtomicWord(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicword.Analyzer, "a", "internal/bitset")
+}

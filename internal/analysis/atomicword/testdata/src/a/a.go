@@ -1,0 +1,63 @@
+// Package a is the seeded-bad golden package for the atomicword analyzer:
+// every raw read-modify-write on a []uint64 word must be flagged, every
+// atomic or annotated access must stay quiet.
+package a
+
+import "sync/atomic"
+
+var shared = make([]uint64, 64)
+
+func bad(i int, mask uint64) {
+	shared[i] |= mask  // want `non-atomic \|= on \[\]uint64`
+	shared[i] &^= mask // want `non-atomic &\^= on \[\]uint64`
+	shared[i] ^= mask  // want `non-atomic \^= on \[\]uint64`
+	shared[i] &= mask  // want `non-atomic &= on \[\]uint64`
+	shared[i] = mask   // want `non-atomic = on \[\]uint64`
+	shared[i]++        // want `non-atomic \+\+ on \[\]uint64`
+}
+
+func badNested(rows [][]uint64, w, i int) {
+	rows[w][i] |= 1 // want `non-atomic \|= on \[\]uint64`
+}
+
+func badMulti(a, b []uint64, i int) {
+	a[i], b[i] = 1, 2 // want `non-atomic = on \[\]uint64` `non-atomic = on \[\]uint64`
+}
+
+func good(i int, mask uint64) bool {
+	for {
+		old := atomic.LoadUint64(&shared[i])
+		merged := old | mask
+		if merged == old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&shared[i], old, merged) {
+			return true
+		}
+	}
+}
+
+// annotatedFunc zeroes the array before any worker starts.
+//
+//bfs:singlewriter initialization runs before the pool is started
+func annotatedFunc() {
+	for i := range shared {
+		shared[i] = 0
+	}
+}
+
+func annotatedLines(i int, mask uint64) {
+	shared[i] |= mask //bfs:singlewriter phase 2: vertex i is owned by exactly one worker
+	//bfs:singlewriter scrubbing a buffer no other worker reads this phase
+	shared[i] = 0
+}
+
+func otherTypes(b []uint32, i int) {
+	b[i] |= 1 // []uint32 is not bitset state: quiet
+	var local uint64
+	local |= 1 // scalar, not a shared word: quiet
+	_ = local
+	arr := [4]uint64{}
+	arr[0] |= 1 // fixed-size array value, not shared slice state: quiet
+	_ = arr
+}

@@ -1,0 +1,112 @@
+// Package hotalloc defines an analyzer that flags allocations inside loops
+// annotated //bfs:hot.
+//
+// The annotated loops are the per-vertex/per-edge inner loops of the BFS
+// kernels (MS-PBFS top-down and bottom-up sweeps, SMS-PBFS chunk scans, the
+// Beamer bottom-up sweep) and the scheduler's task-fetch loop. These run
+// billions of iterations on large graphs; a single make, append, map or
+// closure allocation inside one of them turns into GC pressure that
+// dominates the traversal time ("Performance-Driven Optimization of Parallel
+// BFS" attributes most single-node BFS slowdowns to exactly this class of
+// per-edge overhead). The pass makes the no-allocation property checkable:
+// annotate the loop once, and any future allocation inside it fails vet.
+//
+// An allocation that is intentional (for example a once-per-phase buffer
+// grown inside a rarely-taken branch) is suppressed with //bfs:alloc-ok plus
+// a justification on the allocation line.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags allocation sites inside //bfs:hot loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags make/new/append calls, slice/map composite literals and closures inside loops " +
+		"annotated //bfs:hot; suppress a justified site with //bfs:alloc-ok",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ann := analysis.NewAnnotations(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !ann.Marked(n.Pos(), analysis.DirectiveHot) {
+				return true
+			}
+			checkHotBody(pass, ann, body)
+			// Nested loops are part of the hot region; don't re-enter them
+			// even if they carry their own (redundant) annotation.
+			return false
+		})
+	}
+	return nil, nil
+}
+
+// checkHotBody reports every allocation site in the subtree rooted at body.
+func checkHotBody(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := builtinAllocName(pass, n); name != "" {
+				report(pass, ann, n.Pos(), "call to %s allocates inside a //bfs:hot loop", name)
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(pass, ann, n.Pos(), "slice literal allocates inside a //bfs:hot loop")
+			case *types.Map:
+				report(pass, ann, n.Pos(), "map literal allocates inside a //bfs:hot loop")
+			}
+		case *ast.FuncLit:
+			report(pass, ann, n.Pos(), "closure allocates inside a //bfs:hot loop")
+			// Still descend: allocations inside the closure body run on the
+			// hot path too if the closure is called here.
+		}
+		return true
+	})
+}
+
+// builtinAllocName returns the name of the builtin if call is one of the
+// allocating builtins (make, new, append), or "".
+func builtinAllocName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	switch id.Name {
+	case "make", "new", "append":
+		return id.Name
+	}
+	return ""
+}
+
+// report emits a diagnostic unless the site is suppressed with
+// //bfs:alloc-ok on its own line or the line above.
+func report(pass *analysis.Pass, ann *analysis.Annotations, pos token.Pos, format string, args ...interface{}) {
+	if ann.Marked(pos, analysis.DirectiveAllocOK) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

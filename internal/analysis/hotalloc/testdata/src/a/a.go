@@ -1,0 +1,53 @@
+// Package a is the seeded-bad golden package for the hotalloc analyzer:
+// every allocation inside a //bfs:hot loop must be flagged; cold loops and
+// justified sites must stay quiet.
+package a
+
+func hotFor(n int, acc []uint64) []uint64 {
+	scratch := make([]uint64, 8) // cold code: quiet
+	_ = scratch
+	//bfs:hot
+	for i := 0; i < n; i++ {
+		buf := make([]uint64, 8) // want `call to make allocates inside a //bfs:hot loop`
+		_ = buf
+		p := new(int) // want `call to new allocates inside a //bfs:hot loop`
+		_ = p
+		s := []int{i} // want `slice literal allocates inside a //bfs:hot loop`
+		_ = s
+		m := map[int]bool{} // want `map literal allocates inside a //bfs:hot loop`
+		_ = m
+		f := func() int { return i } // want `closure allocates inside a //bfs:hot loop`
+		_ = f()
+		acc = append(acc, uint64(i)) // want `call to append allocates inside a //bfs:hot loop`
+		view := acc[:0]              // reslicing: quiet
+		_ = view
+	}
+	return acc
+}
+
+func hotRange(rows [][]uint64) int {
+	total := 0
+	for _, r := range rows { //bfs:hot
+		for range r { // nested loop inherits the hot region
+			total += len(make([]int, 1)) // want `call to make allocates inside a //bfs:hot loop`
+		}
+	}
+	return total
+}
+
+func coldLoop(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 1) // unannotated loop: quiet
+	}
+}
+
+func justified(n int) []int {
+	var out []int
+	//bfs:hot
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			out = append(out, i) //bfs:alloc-ok grows at most once per run
+		}
+	}
+	return out
+}

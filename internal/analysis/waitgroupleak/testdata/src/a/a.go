@@ -1,0 +1,69 @@
+// Package a is the seeded-bad golden package for the waitgroupleak
+// analyzer: goroutines with no completion signal must be flagged, the
+// repository's WaitGroup/channel/pool idioms and annotated launches must
+// stay quiet.
+package a
+
+import "sync"
+
+func leakClosure() {
+	go func() { // want `goroutine launched without a completion signal`
+		_ = 1 + 1
+	}()
+}
+
+func leakNamed() {
+	go forever() // want `goroutine launched without a completion signal`
+}
+
+func forever() {}
+
+func waited(n int) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channelSignal() int {
+	done := make(chan int)
+	go func() {
+		done <- 42
+	}()
+	return <-done
+}
+
+func closeSignal(out chan int) {
+	go func() {
+		close(out)
+	}()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// start launches a worker whose Done lives in the named callee; the Add in
+// the launching function is the visible completion contract.
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+func (p *pool) loop() { p.wg.Done() }
+
+// detachedDoc runs for the life of the process.
+//
+//bfs:detached background telemetry flusher, exits with the process
+func detachedDoc() {
+	go forever()
+}
+
+func detachedLine() {
+	//bfs:detached intentional fire-and-forget probe
+	go forever()
+}

@@ -1,0 +1,146 @@
+// Package waitgroupleak defines an analyzer that flags goroutine launches
+// with no visible completion mechanism.
+//
+// Every parallel phase in this repository must be joinable: the BFS kernels
+// are level-synchronous, so a goroutine that outlives its phase either
+// deadlocks the next phase or races it (internal/sched's pool exists
+// precisely to make worker lifetime explicit). The pass accepts a `go`
+// statement when it can see one of the conventional completion signals:
+//
+//   - the launched function literal calls Done() (a sync.WaitGroup or the
+//     pool's phase-completion WaitGroup), sends on a channel, or closes one;
+//   - the enclosing function calls Add on a sync.WaitGroup (the
+//     `wg.Add(1); go func(){ defer wg.Done(); ... }` idiom, which also covers
+//     launches of named methods whose Done lives in the callee, as in
+//     sched.NewPool);
+//   - the launch is annotated //bfs:detached with a justification.
+//
+// Anything else is reported as a probable goroutine leak.
+package waitgroupleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags `go` statements without a completion signal.
+var Analyzer = &analysis.Analyzer{
+	Name: "waitgroupleak",
+	Doc: "flags `go` statements not paired with a sync.WaitGroup or other completion signal " +
+		"(Done()/channel send/close in the body, or WaitGroup.Add in the launching function); " +
+		"annotate intentional fire-and-forget goroutines //bfs:detached",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ann := analysis.NewAnnotations(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, ann, fn)
+			return false
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc inspects one function declaration for unjoined goroutines.
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl) {
+	launcherAdds := containsWaitGroupAdd(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if ann.Marked(g.Pos(), analysis.DirectiveDetached) ||
+			analysis.DocMarked(fn, analysis.DirectiveDetached) {
+			return true
+		}
+		if launcherAdds {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && bodySignalsCompletion(pass, lit.Body) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine launched without a completion signal (no WaitGroup Add/Done, channel send, or close); "+
+				"pair it with a WaitGroup or annotate //bfs:detached")
+		return true
+	})
+}
+
+// containsWaitGroupAdd reports whether body contains a call to
+// (*sync.WaitGroup).Add.
+func containsWaitGroupAdd(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isWaitGroupRecv(pass, sel) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// bodySignalsCompletion reports whether a goroutine body contains a call to
+// a method named Done (WaitGroup or pool-managed completion), a channel
+// send, or a close() call.
+func bodySignalsCompletion(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupRecv reports whether sel's receiver is sync.WaitGroup or
+// *sync.WaitGroup.
+func isWaitGroupRecv(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

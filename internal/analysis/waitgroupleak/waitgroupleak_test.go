@@ -1,0 +1,12 @@
+package waitgroupleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waitgroupleak"
+)
+
+func TestWaitGroupLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", waitgroupleak.Analyzer, "a")
+}

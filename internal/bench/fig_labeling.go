@@ -37,7 +37,7 @@ func socialGraphFor(cfg Config, scheme label.Scheme, workers, taskSize int) *gra
 // Fig6Result maps labeling scheme name -> visited neighbors per worker
 // during one single-source BFS under static partitioning.
 type Fig6Result struct {
-	Workers int
+	Workers   int
 	PerWorker map[string][]int64
 }
 

@@ -152,10 +152,10 @@ func runTable1(cfg Config) error {
 
 // IBFSResult is the KG0 comparison of Section 5.3.
 type IBFSResult struct {
-	Workers                 int
-	MSPBFSGteps, IBFSGteps  float64
-	MSPBFSMs, IBFSMs        float64
-	SpeedupMSPBFSOverIBFS   float64
+	Workers                int
+	MSPBFSGteps, IBFSGteps float64
+	MSPBFSMs, IBFSMs       float64
+	SpeedupMSPBFSOverIBFS  float64
 }
 
 // IBFSCompare runs MS-PBFS and the iBFS-style JFQ variant on the dense

@@ -190,6 +190,7 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 func beamerBottomUpStep(g *graph.Graph, seen, front, next *bitset.Bitmap, levels []int32, depth int32) (updated, scanned, updatedDegree int64) {
 	n := g.NumVertices()
 	seenWords := seen.Words()
+	//bfs:hot Beamer bottom-up sweep: runs per chunk per iteration, must not allocate
 	for wi, w := range seenWords {
 		if w == ^uint64(0) {
 			continue // all 64 vertices seen: chunk skip
@@ -222,6 +223,9 @@ func beamerBottomUpStep(g *graph.Graph, seen, front, next *bitset.Bitmap, levels
 	return updated, scanned, updatedDegree
 }
 
+// clearBitmap zeroes a bitmap in place.
+//
+//bfs:singlewriter the Beamer variants are sequential by definition (Section 5.2)
 func clearBitmap(b *bitset.Bitmap) {
 	words := b.Words()
 	for i := range words {

@@ -1,0 +1,31 @@
+//go:build !bfsdebug
+
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// debugInvariants gates the bfsdebug invariant layer. In the default build
+// it is a false constant, so every `if debugInvariants { ... }` block — and
+// the O(n)-per-iteration checks behind it — is eliminated by the compiler.
+// Build with `-tags bfsdebug` (or `make debug`) to enable the checks; see
+// docs/ANALYSIS.md.
+const debugInvariants = false
+
+// debugCheckBatchIteration is a no-op stub; the bfsdebug build cross-checks
+// one MS-PBFS iteration's seen/next state against the per-worker counters.
+func debugCheckBatchIteration(seen, next *bitset.State, prevSeen, updated int64, algo string, depth int32) int64 {
+	return 0
+}
+
+// debugCheckSetIteration is a no-op stub; the bfsdebug build cross-checks
+// one SMS-PBFS iteration's seen/next state against the per-worker counters.
+func debugCheckSetIteration(seen, next vertexSet, n int, prevSeen, updated int64, algo string, depth int32) int64 {
+	return 0
+}
+
+// debugCheckLevels is a no-op stub; the bfsdebug build compares a recorded
+// level array against the sequential reference BFS.
+func debugCheckLevels(g *graph.Graph, source int, levels []int32, algo string) {}

@@ -1,0 +1,13 @@
+//go:build !bfsdebug
+
+package core
+
+import "testing"
+
+// TestDebugLayerOffByDefault pins the release-build contract: the invariant
+// layer must compile to dead code unless -tags bfsdebug is given.
+func TestDebugLayerOffByDefault(t *testing.T) {
+	if debugInvariants {
+		t.Fatal("debugInvariants must be false without the bfsdebug build tag")
+	}
+}

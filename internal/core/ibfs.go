@@ -169,9 +169,9 @@ func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, worker
 			for i := range nRow {
 				nw := nRow[i] &^ sRow[i]
 				if nw != nRow[i] {
-					nRow[i] = nw
+					nRow[i] = nw //bfs:singlewriter candidate resolution runs on the coordinating goroutine after wg.Wait
 				}
-				sRow[i] |= nw
+				sRow[i] |= nw //bfs:singlewriter candidate resolution runs on the coordinating goroutine after wg.Wait
 				anyNew |= nw
 			}
 			if anyNew == 0 {

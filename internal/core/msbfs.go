@@ -42,6 +42,8 @@ func MSBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 
 // msbfsBatch runs one sequential batch. The three state arrays are reused
 // across batches; they are fully re-zeroed at batch start.
+//
+//bfs:singlewriter MS-BFS is the sequential baseline of Then et al.; one goroutine owns all state
 func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options,
 	seen, frontier, next *bitset.State, res *MultiResult) {
 	n := g.NumVertices()

@@ -199,6 +199,12 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		}
 	}
 
+	// Invariant-layer state (bfsdebug builds only; dead code otherwise).
+	var dbgSeen int64
+	if debugInvariants {
+		dbgSeen = int64(e.seen.CountAll())
+	}
+
 	// Heuristic state (aggregate over the batch, GAPBS-style).
 	frontVertices := int64(0)
 	frontEdges := int64(0)
@@ -237,7 +243,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		resetCounters(e.unseenDeg)
 		for w := range e.liveBits {
 			for i := range e.liveBits[w] {
-				e.liveBits[w][i] = 0
+				e.liveBits[w][i] = 0 //bfs:singlewriter reset between phases on the coordinating goroutine
 			}
 		}
 
@@ -251,15 +257,18 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		// Shrink the active mask to the BFSs that still have a frontier;
 		// drained BFSs can never discover new vertices.
 		for i := range activeMask {
-			activeMask[i] = 0
+			activeMask[i] = 0 //bfs:singlewriter mask rebuild between phases on the coordinating goroutine
 		}
 		for w := range e.liveBits {
 			for i := range activeMask {
-				activeMask[i] |= e.liveBits[w][i]
+				activeMask[i] |= e.liveBits[w][i] //bfs:singlewriter mask rebuild between phases on the coordinating goroutine
 			}
 		}
 
 		updated := sumCounters(e.updated)
+		if debugInvariants {
+			dbgSeen = debugCheckBatchIteration(e.seen, next, dbgSeen, updated, "MS-PBFS", depth)
+		}
 		visited += updated
 		frontVertices = sumCounters(e.frontVtx)
 		frontEdges = sumCounters(e.frontDeg)
@@ -279,6 +288,12 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 	// older iterations; the next batch resets everything, so nothing to do.
 	e.buf0, e.buf1 = frontier, next
 
+	if debugInvariants && levels != nil && opt.MaxDepth <= 0 {
+		for i := range levels {
+			debugCheckLevels(g, batch[i], levels[i], "MS-PBFS")
+		}
+	}
+
 	elapsed := time.Since(start)
 	res.VisitedStates += visited
 	res.Stats.Merge(metrics.RunStat{Elapsed: elapsed, Sources: k, Iterations: rec.stats})
@@ -292,6 +307,8 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 // topDownIteration runs the two-phase parallel top-down step of
 // Section 3.1.1 and returns per-worker busy time (phase 1 + phase 2) when
 // requested.
+//
+//bfs:singlewriter phase 1 writes go through AtomicOrVertex; phase 2 touches each vertex row from exactly one worker, and live/acc are worker-local
 func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][]int32, depth int32, batchOffset int) []time.Duration {
 	g, opt := e.g, e.opt
 	steal := !opt.DisableStealing
@@ -302,6 +319,7 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 	e.tq.Reset()
 	busy1 := e.runPhase(steal, func(workerID int, r sched.Range) {
 		scanned := &e.scanned[workerID]
+		//bfs:hot phase 1 frontier scan: runs per vertex per iteration, must not allocate
 		for v := r.Lo; v < r.Hi; v++ {
 			if !frontier.Any(v) {
 				continue
@@ -340,6 +358,7 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 		if e.tracker != nil {
 			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
 		}
+		//bfs:hot phase 2 resolution sweep: runs per vertex per iteration, must not allocate
 		for v := r.Lo; v < r.Hi; v++ {
 			if frontier.Any(v) {
 				frontier.ZeroVertex(v)
@@ -381,6 +400,8 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 }
 
 // bottomUpIteration runs the parallel bottom-up step of Section 3.1.2.
+//
+//bfs:singlewriter each unseen vertex row is read and written by the one worker that owns its range; acc/live are worker-local scratch
 func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMask []uint64, levels [][]int32, depth int32, batchOffset int) []time.Duration {
 	g, opt := e.g, e.opt
 	steal := !opt.DisableStealing
@@ -398,6 +419,7 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 		if e.tracker != nil {
 			e.tracker.RecordRange(e.pageMap, workerID, r.Lo, r.Hi)
 		}
+		//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
 		for u := r.Lo; u < r.Hi; u++ {
 			sRow := e.seen.Row(u)
 			if coversMask(sRow, activeMask) {

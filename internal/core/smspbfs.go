@@ -46,6 +46,9 @@ type vertexSet interface {
 	ChunkWords() []uint64
 	// ChunkSize is the number of vertices per backing word.
 	ChunkSize() int
+	// Count returns the number of marked vertices (used by the bfsdebug
+	// invariant layer).
+	Count() int
 	MemoryBytes() int64
 }
 
@@ -185,6 +188,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	}
 
 	var visited int64 = 1
+	dbgSeen := int64(1) // invariant-layer state (bfsdebug builds only)
 	frontVertices := int64(1)
 	frontEdges := int64(g.Degree(source))
 	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
@@ -217,6 +221,9 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		}
 
 		updated := sumCounters(e.updated)
+		if debugInvariants {
+			dbgSeen = debugCheckSetIteration(e.seen, next, n, dbgSeen, updated, "SMS-PBFS", depth)
+		}
 		visited += updated
 		frontVertices = updated
 		frontEdges = sumCounters(e.frontDeg)
@@ -231,6 +238,10 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		frontier, next = next, frontier
 	}
 	e.buf0, e.buf1 = frontier, next
+
+	if debugInvariants && levels != nil && opt.MaxDepth <= 0 {
+		debugCheckLevels(g, source, levels, "SMS-PBFS")
+	}
 
 	res := &Result{Levels: levels, VisitedVertices: visited, NUMAStats: e.tracker}
 	res.Stats = metrics.RunStat{Elapsed: time.Since(start), Sources: 1, Iterations: rec.stats}
@@ -251,6 +262,7 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 		scanned := &e.scanned[workerID]
 		words := frontier.ChunkWords()
 		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		//bfs:hot phase 1 chunk scan: runs per chunk per iteration, must not allocate
 		for wi := loW; wi < hiW; wi++ {
 			if words[wi] == 0 {
 				continue // chunk skip: no active vertex among these
@@ -282,7 +294,10 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 					}
 				}
 			}
-			words[wi] = 0 // frontier cleared in place (Listing 3 line 5)
+			// Frontier cleared in place (Listing 3 line 5). Task ranges are
+			// multiples of 512 vertices, so word wi belongs to exactly one
+			// task and only the worker holding that task writes it.
+			words[wi] = 0 //bfs:singlewriter word-aligned task ranges: one writer per word
 		}
 	})
 
@@ -295,6 +310,7 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 		}
 		words := next.ChunkWords()
 		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		//bfs:hot phase 2 chunk scan: runs per chunk per iteration, must not allocate
 		for wi := loW; wi < hiW; wi++ {
 			if words[wi] == 0 {
 				continue
@@ -342,6 +358,7 @@ func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int
 		if e.tracker != nil {
 			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
 		}
+		//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
 		for u := r.Lo; u < r.Hi; u++ {
 			if e.seen.Get(u) {
 				if next.Get(u) {

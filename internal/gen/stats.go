@@ -12,10 +12,10 @@ import (
 // that the real-world-graph stand-ins actually reproduce the statistics
 // they are meant to (DESIGN.md §3).
 type Stats struct {
-	Vertices   int
-	Edges      int64
-	AvgDegree  float64
-	MaxDegree  int
+	Vertices  int
+	Edges     int64
+	AvgDegree float64
+	MaxDegree int
 	// PowerLawAlpha is the maximum-likelihood estimate of the degree
 	// distribution's power-law exponent for degrees >= PowerLawXMin
 	// (the Clauset-Shalizi-Newman discrete MLE with the standard -1/2

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// raceEdges produces a deterministic pseudo-random edge multiset (including
+// self-loops and duplicates) without pulling in the generator package.
+func raceEdges(n, m int, seed uint64) []Edge {
+	s := seed
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{U: VertexID(next() % uint64(n)), V: VertexID(next() % uint64(n))}
+	}
+	return edges
+}
+
+// TestBuildParallelRaceStress runs the parallel CSR construction with
+// oversubscribed workers on a skewed random edge set and checks it is
+// byte-identical to the sequential build. Under `go test -race` this is
+// the repro harness for the two-pass degree-count/fill protocol.
+func TestBuildParallelRaceStress(t *testing.T) {
+	const (
+		n = 5000
+		m = 40000
+	)
+	edges := raceEdges(n, m, 0x9e3779b97f4a7c15)
+
+	seqB := NewBuilder(n)
+	for _, e := range edges {
+		seqB.AddEdge(e.U, e.V)
+	}
+	want := seqB.Build()
+
+	for _, workers := range []int{2, 8, 16} {
+		parB := NewBuilder(n)
+		for _, e := range edges {
+			parB.AddEdge(e.U, e.V)
+		}
+		got := parB.BuildParallel(workers)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !graphsEqual(want, got) {
+			t.Fatalf("workers=%d: parallel build differs from sequential", workers)
+		}
+	}
+}
+
+// TestBuildParallelConcurrentBuilds runs several parallel builds at the
+// same time; each build's worker team must not touch another build's
+// arrays.
+func TestBuildParallelConcurrentBuilds(t *testing.T) {
+	const (
+		n      = 2000
+		m      = 12000
+		builds = 4
+	)
+	var wg sync.WaitGroup
+	results := make([]*Graph, builds)
+	for i := 0; i < builds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			edges := raceEdges(n, m, uint64(i+1)*0x2545f4914f6cdd1d)
+			b := NewBuilder(n)
+			for _, e := range edges {
+				b.AddEdge(e.U, e.V)
+			}
+			results[i] = b.BuildParallel(4)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < builds; i++ {
+		edges := raceEdges(n, m, uint64(i+1)*0x2545f4914f6cdd1d)
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V)
+		}
+		if !graphsEqual(b.Build(), results[i]) {
+			t.Fatalf("build %d: concurrent parallel build differs from sequential", i)
+		}
+	}
+}

@@ -78,6 +78,7 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 			}()
 			offsetHint := 0
 			if job.steal {
+				//bfs:hot steal loop: one atomic fetch per task, must not allocate
 				for {
 					rg, ok := job.tq.Fetch(workerID, &offsetHint)
 					if !ok {
@@ -86,6 +87,7 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 					job.body(workerID, rg)
 				}
 			} else {
+				//bfs:hot static fetch loop: one atomic fetch per task, must not allocate
 				for {
 					rg, ok := job.tq.FetchLocal(workerID)
 					if !ok {

@@ -394,11 +394,11 @@ func TestTaskQueuesString(t *testing.T) {
 func TestSetStealOrderValidation(t *testing.T) {
 	tq := CreateTasks(512, 64, 3)
 	bad := [][][]int{
-		{{0, 1, 2}, {1, 0, 2}},                      // too few workers
-		{{0, 1, 2}, {1, 0, 2}, {0, 1, 2}},           // entry not starting at own queue
-		{{0, 1, 1}, {1, 0, 2}, {2, 0, 1}},           // duplicate
-		{{0, 1, 3}, {1, 0, 2}, {2, 0, 1}},           // out of range
-		{{0, 1}, {1, 0, 2}, {2, 0, 1}},              // short entry
+		{{0, 1, 2}, {1, 0, 2}},            // too few workers
+		{{0, 1, 2}, {1, 0, 2}, {0, 1, 2}}, // entry not starting at own queue
+		{{0, 1, 1}, {1, 0, 2}, {2, 0, 1}}, // duplicate
+		{{0, 1, 3}, {1, 0, 2}, {2, 0, 1}}, // out of range
+		{{0, 1}, {1, 0, 2}, {2, 0, 1}},    // short entry
 	}
 	for i, order := range bad {
 		func() {

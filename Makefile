@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet race debug ci fmt
+.PHONY: all build test lint vet race debug ci fmt serve loadtest
 
 all: build
 
@@ -41,6 +41,21 @@ race:
 # verification; see docs/ANALYSIS.md).
 debug:
 	$(GO) test -tags bfsdebug ./internal/core/...
+
+# serve = run the query daemon on a demo graph (see docs/SERVER.md).
+SERVE_GRAPH ?= demo=kron:scale=14
+SERVE_ADDR  ?= :8080
+serve:
+	$(GO) run ./cmd/bfsd -graph $(SERVE_GRAPH) -addr $(SERVE_ADDR)
+
+# loadtest = closed-loop load generator against an in-process server;
+# reports latency percentiles and the achieved batch width.
+LOAD_SPEC     ?= kron:scale=14
+LOAD_CLIENTS  ?= 64
+LOAD_REQUESTS ?= 5000
+loadtest:
+	$(GO) run ./cmd/bfsload -inprocess $(LOAD_SPEC) \
+		-clients $(LOAD_CLIENTS) -requests $(LOAD_REQUESTS)
 
 # ci mirrors .github/workflows/ci.yml.
 ci: build lint test race debug

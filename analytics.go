@@ -25,10 +25,8 @@ func (g *Graph) Closeness(vertices []int, opt Options) []float64 {
 	if len(vertices) == 0 || n == 0 {
 		return nil
 	}
+	opt = opt.Normalize()
 	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	// Per-worker accumulation to keep the concurrent visitor race free.
 	type acc struct {
 		sum     []int64
@@ -67,10 +65,8 @@ func (g *Graph) Closeness(vertices []int, opt Options) []float64 {
 // maxHops hops (including the source). This is the neighborhood enumeration
 // workload from the paper's introduction.
 func (g *Graph) NeighborhoodSizes(sources []int, maxHops int, opt Options) []int64 {
+	opt = opt.Normalize()
 	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	counts := make([][]int64, workers)
 	for w := range counts {
 		counts[w] = make([]int64, len(sources))
@@ -93,10 +89,8 @@ func (g *Graph) NeighborhoodSizes(sources []int, maxHops int, opt Options) []int
 // All sources are answered with one multi-source traversal.
 func (g *Graph) Reachable(sources []int, target int, opt Options) []bool {
 	g.checkSource(target)
+	opt = opt.Normalize()
 	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	hit := make([][]bool, workers)
 	for w := range hit {
 		hit[w] = make([]bool, len(sources))
@@ -119,10 +113,8 @@ func (g *Graph) Reachable(sources []int, target int, opt Options) []bool {
 // Eccentricities returns, per source, the greatest BFS depth reached — the
 // vertex eccentricity restricted to its connected component.
 func (g *Graph) Eccentricities(sources []int, opt Options) []int32 {
+	opt = opt.Normalize()
 	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	maxd := make([][]int32, workers)
 	for w := range maxd {
 		maxd[w] = make([]int32, len(sources))
@@ -198,10 +190,7 @@ func (g *Graph) LargestComponentSubgraph() (*Graph, []uint32) {
 // workloads.
 func (g *Graph) DistanceMatrix(vertices []int, opt Options) [][]int32 {
 	k := len(vertices)
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	opt = opt.Normalize()
 	index := make(map[int]int, k) // vertex -> column(s); duplicates share
 	for j, v := range vertices {
 		g.checkSource(v)

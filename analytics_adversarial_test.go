@@ -1,0 +1,130 @@
+package msbfs
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests cover the adversarial inputs the query server forwards from
+// untrusted clients: disconnected graphs, empty source lists, duplicate
+// sources, and out-of-range ids. The library contract is: structurally
+// valid inputs always produce answers (never panic, whatever the graph
+// shape); id-range violations are reported as errors by ValidateSources,
+// which the serving layer checks before any traversal runs.
+
+// disconnectedGraph builds three components: a path 0-1-2, an edge 3-4,
+// and the isolated vertex 5.
+func disconnectedGraph() *Graph {
+	return NewGraph(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := disconnectedGraph()
+	got := g.Closeness([]int{0, 1, 3, 5}, Options{Workers: 2})
+	// Wasserman-Faust: (reached-1)/sum * (reached-1)/(n-1).
+	want := []float64{
+		2.0 / 3.0 * 2.0 / 5.0, // vertex 0: dists 1,2 within its component
+		2.0 / 2.0 * 2.0 / 5.0, // vertex 1: dists 1,1
+		1.0 / 1.0 * 1.0 / 5.0, // vertex 3: dist 1
+		0,                     // vertex 5: isolated
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("closeness[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReachableDisconnected(t *testing.T) {
+	g := disconnectedGraph()
+	got := g.Reachable([]int{0, 3, 5, 2}, 2, Options{Workers: 2})
+	want := []bool{true, false, false, true} // source == target reaches itself
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reachable[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnalyticsEmptySources(t *testing.T) {
+	g := disconnectedGraph()
+	if got := g.Closeness(nil, Options{}); got != nil {
+		t.Errorf("Closeness(nil) = %v", got)
+	}
+	if got := g.Reachable([]int{}, 0, Options{}); len(got) != 0 {
+		t.Errorf("Reachable(empty) = %v", got)
+	}
+	if got := g.NeighborhoodSizes(nil, 2, Options{}); len(got) != 0 {
+		t.Errorf("NeighborhoodSizes(nil) = %v", got)
+	}
+	if got := g.Eccentricities(nil, Options{}); len(got) != 0 {
+		t.Errorf("Eccentricities(nil) = %v", got)
+	}
+	if got := g.DistanceMatrix(nil, Options{}); len(got) != 0 {
+		t.Errorf("DistanceMatrix(nil) = %v", got)
+	}
+	if res := g.MultiBFS(nil, Options{RecordLevels: true}); len(res.Sources) != 0 || res.VisitedStates != 0 {
+		t.Errorf("MultiBFS(nil) = %+v", res)
+	}
+	if got := g.Betweenness(nil, Options{}); len(got) != g.NumVertices() {
+		// Betweenness over zero sources is the zero vector, one per vertex.
+		t.Errorf("Betweenness(nil) length = %d", len(got))
+	}
+}
+
+func TestAnalyticsEmptyGraph(t *testing.T) {
+	g := NewGraph(0, nil)
+	if got := g.Closeness([]int{}, Options{}); got != nil {
+		t.Errorf("empty graph closeness = %v", got)
+	}
+	if err := g.ValidateSources([]int{0}); err == nil {
+		t.Error("vertex 0 of the empty graph validated")
+	}
+	if err := g.ValidateSources(nil); err != nil {
+		t.Errorf("empty source list on empty graph: %v", err)
+	}
+}
+
+func TestAnalyticsDuplicateSources(t *testing.T) {
+	g := GenerateUniform(300, 5, 4)
+	sources := []int{7, 7, 42, 7, 42}
+	cl := g.Closeness(sources, Options{Workers: 2})
+	if cl[0] != cl[1] || cl[0] != cl[3] || cl[2] != cl[4] {
+		t.Errorf("duplicate sources disagree: %v", cl)
+	}
+	res := g.MultiBFS(sources, Options{RecordLevels: true})
+	for v := range res.Levels[0] {
+		if res.Levels[0][v] != res.Levels[1][v] || res.Levels[0][v] != res.Levels[3][v] {
+			t.Fatalf("duplicate source levels disagree at vertex %d", v)
+		}
+	}
+	// Duplicates are explicitly valid inputs.
+	if err := g.ValidateSources(sources); err != nil {
+		t.Errorf("ValidateSources(duplicates) = %v", err)
+	}
+}
+
+func TestValidateSourcesRange(t *testing.T) {
+	g := disconnectedGraph()
+	if err := g.ValidateSources([]int{0, 5}); err != nil {
+		t.Errorf("valid sources rejected: %v", err)
+	}
+	for _, bad := range [][]int{{-1}, {6}, {0, 1, 99}} {
+		if err := g.ValidateSources(bad); err == nil {
+			t.Errorf("ValidateSources(%v) accepted", bad)
+		}
+	}
+}
+
+// TestNeighborhoodSizesDisconnected pins hop-limited counts on a graph
+// where some sources saturate their component before the hop limit.
+func TestNeighborhoodSizesDisconnected(t *testing.T) {
+	g := disconnectedGraph()
+	got := g.NeighborhoodSizes([]int{0, 3, 5}, 5, Options{Workers: 2})
+	want := []int64{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("neighborhood[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

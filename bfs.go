@@ -1,6 +1,7 @@
 package msbfs
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -33,6 +34,28 @@ type Options struct {
 	RecordLevels bool
 	// CollectIterStats gathers per-iteration timing and workload detail.
 	CollectIterStats bool
+}
+
+// Normalize returns a copy of o with out-of-range fields clamped to their
+// documented domains: Workers < 1 becomes 1, BatchWords is clamped to
+// [0, 8] (0 keeps the auto-sizing behaviour of MultiBFS), and negative
+// MaxDepth becomes 0 (unlimited). Every public entry point normalizes its
+// Options on entry, so callers — including the query server validating
+// request parameters — can pass through user-supplied values safely.
+func (o Options) Normalize() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.BatchWords < 0 {
+		o.BatchWords = 0
+	}
+	if o.BatchWords > 8 {
+		o.BatchWords = 8
+	}
+	if o.MaxDepth < 0 {
+		o.MaxDepth = 0
+	}
+	return o
 }
 
 func (o Options) toCore() core.Options {
@@ -96,6 +119,7 @@ type MultiResult struct {
 // BFS runs the parallel single-source SMS-PBFS algorithm from source.
 func (g *Graph) BFS(source int, opt Options) *Result {
 	g.checkSource(source)
+	opt = opt.Normalize()
 	r := core.SMSPBFS(g.g, source, opt.repr(), opt.toCore())
 	return &Result{
 		Levels:          r.Levels,
@@ -127,6 +151,7 @@ func (g *Graph) MultiBFS(sources []int, opt Options) *MultiResult {
 	for _, s := range sources {
 		g.checkSource(s)
 	}
+	opt = opt.Normalize()
 	if opt.BatchWords <= 0 {
 		opt.BatchWords = autoBatchWords(len(sources))
 	}
@@ -150,6 +175,7 @@ func (g *Graph) MultiBFSVisitor(sources []int, opt Options,
 	for _, s := range sources {
 		g.checkSource(s)
 	}
+	opt = opt.Normalize()
 	if opt.BatchWords <= 0 {
 		opt.BatchWords = autoBatchWords(len(sources))
 	}
@@ -201,4 +227,20 @@ func (g *Graph) checkSource(s int) {
 	if s < 0 || s >= g.g.NumVertices() {
 		panic("msbfs: source vertex out of range")
 	}
+}
+
+// ValidateSources reports whether every id in sources names a vertex of the
+// graph. It is the error-returning counterpart of the panicking in-range
+// checks on the traversal entry points, intended for callers forwarding
+// untrusted input (the query server validates every request with it before
+// any traversal runs). Duplicate sources are valid: each occurrence gets
+// its own traversal slot.
+func (g *Graph) ValidateSources(sources []int) error {
+	n := g.g.NumVertices()
+	for i, s := range sources {
+		if s < 0 || s >= n {
+			return fmt.Errorf("msbfs: source[%d] = %d out of range [0, %d)", i, s, n)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,130 @@
+// Command bfsd serves BFS queries over HTTP, coalescing concurrent
+// single-source requests into multi-source MS-PBFS batches (see
+// docs/SERVER.md).
+//
+// Usage:
+//
+//	bfsd -graph demo=kron:scale=14 -addr :8080
+//	bfsd -graph social=social:n=200000 -graph web=file:web.bin \
+//	     -workers 8 -batchwords 4 -flush 2ms
+//
+// Endpoints: POST /bfs /closeness /reachability /khop;
+// GET /graphs /healthz /metrics. SIGINT/SIGTERM drains gracefully:
+// the listener stops, queued requests flush as final batches, in-flight
+// batches finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// graphFlags collects repeated -graph name=spec flags.
+type graphFlags map[string]string
+
+func (g graphFlags) String() string { return fmt.Sprint(map[string]string(g)) }
+
+func (g graphFlags) Set(v string) error {
+	name, spec, ok := cutEq(v)
+	if !ok {
+		return fmt.Errorf("want NAME=SPEC, got %q", v)
+	}
+	if _, dup := g[name]; dup {
+		return fmt.Errorf("duplicate graph name %q", name)
+	}
+	g[name] = spec
+	return nil
+}
+
+func cutEq(s string) (string, string, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			return s[:i], s[i+1:], i > 0
+		}
+	}
+	return "", "", false
+}
+
+func main() {
+	graphs := graphFlags{}
+	flag.Var(graphs, "graph", "serve a graph: NAME=SPEC (repeatable; specs: "+
+		"file:PATH, kron:scale=S, uniform:n=N, social:n=N; see docs/SERVER.md)")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.NumCPU(), "traversal workers per batch")
+		batchWords = flag.Int("batchwords", 1, "MS-PBFS bitset width in words (batch = 64*words sources)")
+		maxBatch   = flag.Int("maxbatch", 0, "override flush width in sources (0: 64*batchwords; 1: disable coalescing)")
+		flush      = flag.Duration("flush", 2*time.Millisecond, "deadline before a partial batch is flushed")
+		maxPending = flag.Int("maxpending", 0, "pending-queue bound, beyond it requests get 429 (0: 4x flush width)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request server-side timeout")
+		drainWait  = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if err := run(graphs, *addr, server.Config{
+		Workers:        *workers,
+		BatchWords:     *batchWords,
+		MaxBatch:       *maxBatch,
+		FlushDeadline:  *flush,
+		MaxPending:     *maxPending,
+		RequestTimeout: *timeout,
+	}, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "bfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphs graphFlags, addr string, cfg server.Config, drainWait time.Duration) error {
+	if len(graphs) == 0 {
+		return errors.New("no graphs to serve (pass at least one -graph NAME=SPEC)")
+	}
+	reg := server.NewRegistry()
+	for name, spec := range graphs {
+		start := time.Now()
+		e, err := reg.Load(name, spec, cfg)
+		if err != nil {
+			return err
+		}
+		log.Printf("graph %q (%s): %d vertices, %d edges, striped-relabeled, loaded in %v",
+			name, spec, e.G.NumVertices(), e.G.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+	srv := server.New(reg, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	//bfs:detached listener goroutine; joined via the errc channel below
+	go func() {
+		errc <- httpSrv.ListenAndServe()
+	}()
+	log.Printf("bfsd listening on %s (workers=%d batch=%d flush=%v)",
+		addr, cfg.Workers, srv.MaxBatch(), cfg.FlushDeadline)
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining (grace %v)", drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("listener shutdown: %w", err)
+	}
+	<-errc          // reap the listener goroutine (returns ErrServerClosed)
+	srv.Close()     // flush queued requests as final batches, wait for batches
+	log.Print("drained cleanly")
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestGraphFlags(t *testing.T) {
+	g := graphFlags{}
+	if err := g.Set("demo=kron:scale=10"); err != nil {
+		t.Fatal(err)
+	}
+	if g["demo"] != "kron:scale=10" {
+		t.Errorf("parsed %v", g)
+	}
+	if err := g.Set("demo=uniform:n=10"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	for _, bad := range []string{"nospec", "=kron:scale=4", ""} {
+		if err := g.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRunRequiresGraphs(t *testing.T) {
+	if err := run(graphFlags{}, ":0", server.Config{}, time.Second); err == nil {
+		t.Error("run with no graphs must fail")
+	}
+	if err := run(graphFlags{"g": "warp:n=1"}, ":0", server.Config{}, time.Second); err == nil {
+		t.Error("run with a bad spec must fail")
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on a free port, queries it, then
+// delivers SIGTERM and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
+			server.Config{Workers: 2, FlushDeadline: time.Millisecond}, 5*time.Second)
+	}()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 200; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !up {
+		t.Fatal("daemon never became healthy")
+	}
+
+	resp, err := http.Post(base+"/khop", "application/json",
+		strings.NewReader(`{"graph":"demo","source":3,"hops":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Count < 1 {
+		t.Errorf("khop: status %d count %d", resp.StatusCode, qr.Count)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func TestCutEq(t *testing.T) {
+	for _, tc := range []struct {
+		in, name, spec string
+		ok             bool
+	}{
+		{"a=b", "a", "b", true},
+		{"a=b=c", "a", "b=c", true},
+		{"=b", "", "", false},
+		{"ab", "", "", false},
+	} {
+		name, spec, ok := cutEq(tc.in)
+		if ok != tc.ok || (ok && (name != tc.name || spec != tc.spec)) {
+			t.Errorf("cutEq(%q) = %q, %q, %v", tc.in, name, spec, ok)
+		}
+	}
+}

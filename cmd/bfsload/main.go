@@ -1,0 +1,257 @@
+// Command bfsload drives a bfsd instance with N concurrent closed-loop
+// clients and reports latency percentiles, throughput, and the achieved
+// batch width — the number the coalescer exists to maximize. Comparing a
+// run against `-maxbatch 1` (per-request serving) on the same graph
+// measures the amortization win of batching directly.
+//
+// Usage:
+//
+//	bfsload -addr http://localhost:8080 -clients 64 -requests 5000
+//	bfsload -inprocess kron:scale=12 -clients 128 -requests 2000 -kind closeness
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "bfsd base URL (e.g. http://localhost:8080)")
+		inprocess = flag.String("inprocess", "", "serve this graph spec in-process instead of -addr (e.g. kron:scale=12)")
+		graph     = flag.String("graphname", "", "graph name to query (empty: server default)")
+		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
+		requests  = flag.Int("requests", 2000, "total requests across all clients")
+		kind      = flag.String("kind", "mixed", "query kind: bfs, closeness, reachability, khop, mixed")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		// In-process server knobs (ignored with -addr).
+		workers    = flag.Int("workers", runtime.NumCPU(), "in-process server: traversal workers")
+		batchWords = flag.Int("batchwords", 1, "in-process server: bitset width in words")
+		maxBatch   = flag.Int("maxbatch", 0, "in-process server: flush width override (1: no coalescing)")
+		flush      = flag.Duration("flush", 2*time.Millisecond, "in-process server: flush deadline")
+	)
+	flag.Parse()
+
+	base := *addr
+	if *inprocess != "" {
+		cfg := server.Config{
+			Workers:       *workers,
+			BatchWords:    *batchWords,
+			MaxBatch:      *maxBatch,
+			FlushDeadline: *flush,
+			MaxPending:    *requests + *clients, // the load is the bound
+		}
+		reg := server.NewRegistry()
+		if _, err := reg.Load("load", *inprocess, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsload:", err)
+			os.Exit(1)
+		}
+		srv := server.New(reg, cfg)
+		ts := httptest.NewServer(srv)
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		base = ts.URL
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "bfsload: pass -addr or -inprocess")
+		os.Exit(1)
+	}
+
+	rep, err := drive(base, driveConfig{
+		Graph:    *graph,
+		Clients:  *clients,
+		Requests: *requests,
+		Kind:     *kind,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsload:", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+type driveConfig struct {
+	Graph    string
+	Clients  int
+	Requests int
+	Kind     string
+	Seed     int64
+}
+
+// report aggregates one load run.
+type report struct {
+	Sent, OK, Throttled, Failed int
+	Elapsed                     time.Duration
+	Latency                     metrics.Histogram // ns, successful requests
+	Width                       metrics.Histogram // batch width per successful request
+	WaitMicros                  metrics.Histogram
+}
+
+// MeanBatchWidth is the achieved coalescing factor as observed by clients:
+// the average width of the batch that served each successful request.
+func (r *report) MeanBatchWidth() float64 {
+	if r.Latency.Count() == 0 {
+		return 0
+	}
+	return r.Width.Mean()
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "requests: %d ok, %d throttled (429), %d failed in %v (%.0f req/s)\n",
+		r.OK, r.Throttled, r.Failed, r.Elapsed.Round(time.Millisecond),
+		float64(r.OK)/r.Elapsed.Seconds())
+	fmt.Fprintf(w, "latency:  %s\n", r.Latency.DurationString())
+	fmt.Fprintf(w, "queue wait (server-reported): p50=%dus p95=%dus\n",
+		r.WaitMicros.P50(), r.WaitMicros.P95())
+	fmt.Fprintf(w, "batch width: mean=%.1f p50=%d max=%d  (1.0 = no coalescing)\n",
+		r.MeanBatchWidth(), r.Width.P50(), r.Width.Max())
+}
+
+// graphSize asks the server how many vertices the target graph has, so the
+// workload can pick valid sources.
+func graphSize(base, name string) (int, error) {
+	resp, err := http.Get(base + "/graphs")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name     string `json:"name"`
+		Vertices int    `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return 0, err
+	}
+	for _, inf := range infos {
+		if inf.Name == name || name == "" {
+			return inf.Vertices, nil
+		}
+	}
+	return 0, fmt.Errorf("graph %q not served (have %d graphs)", name, len(infos))
+}
+
+// drive runs the closed-loop workload: Clients goroutines, each issuing the
+// next request as soon as its previous one completes, Requests in total.
+func drive(base string, cfg driveConfig) (*report, error) {
+	n, err := graphSize(base, cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph %q is empty", cfg.Graph)
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+
+	kinds := []string{"bfs", "closeness", "reachability", "khop"}
+	switch cfg.Kind {
+	case "mixed", "":
+	case "bfs", "closeness", "reachability", "khop":
+		kinds = []string{cfg.Kind}
+	default:
+		return nil, fmt.Errorf("unknown kind %q", cfg.Kind)
+	}
+
+	rep := &report{}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards the plain counters; histograms are atomic
+		next = make(chan int, cfg.Requests)
+	)
+	for i := 0; i < cfg.Requests; i++ {
+		next <- i
+	}
+	close(next)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for range next {
+				kind := kinds[r.Intn(len(kinds))]
+				body := map[string]any{"graph": cfg.Graph, "source": r.Intn(n)}
+				switch kind {
+				case "bfs":
+					body["targets"] = []int{r.Intn(n), r.Intn(n)}
+				case "reachability":
+					body["target"] = r.Intn(n)
+				case "khop":
+					body["hops"] = 1 + r.Intn(3)
+				}
+				t0 := time.Now()
+				status, resp, err := post(client, base+"/"+kind, body)
+				lat := time.Since(t0)
+				mu.Lock()
+				rep.Sent++
+				switch {
+				case err != nil:
+					rep.Failed++
+				case status == http.StatusTooManyRequests:
+					rep.Throttled++
+				case status != http.StatusOK:
+					rep.Failed++
+				default:
+					rep.OK++
+				}
+				mu.Unlock()
+				if err == nil && status == http.StatusOK {
+					rep.Latency.RecordDuration(lat)
+					rep.Width.Record(int64(resp.BatchWidth))
+					rep.WaitMicros.Record(resp.WaitMicros)
+				}
+			}
+		}(cfg.Seed + int64(c))
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+type queryResponse struct {
+	BatchWidth int   `json:"batch_width"`
+	WaitMicros int64 `json:"wait_us"`
+}
+
+func post(client *http.Client, url string, body map[string]any) (int, *queryResponse, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return resp.StatusCode, nil, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, &qr, nil
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketLayout(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, buckets
+	// must be monotone, and the sub-unit range is exact.
+	for v := int64(0); v < histSub; v++ {
+		if got := bucketUpper(bucketIndex(v)); got != v {
+			t.Fatalf("value %d: exact bucket upper = %d", v, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		if u := bucketUpper(i); u < v {
+			t.Errorf("value %d: bucket upper %d below value", v, u)
+		}
+		if i < prev {
+			t.Errorf("value %d: bucket %d not monotone (prev %d)", v, i, prev)
+		}
+		prev = i
+	}
+	// Relative bucketing error is bounded by 1/histSub.
+	for v := int64(histSub); v < 1<<20; v = v*7/6 + 1 {
+		u := bucketUpper(bucketIndex(v))
+		if float64(u-v)/float64(v) > 1.0/histSub {
+			t.Fatalf("value %d: bucket upper %d exceeds 12.5%% error", v, u)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(1))
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(r.ExpFloat64() * 1e6) // exponential latencies ~1ms
+		h.Record(values[i])
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := values[int(q*float64(len(values)))-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%.2f: got %d below exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.15+float64(histSub) {
+			t.Errorf("q=%.2f: got %d, exact %d (> 12.5%% high)", q, got, exact)
+		}
+	}
+	if h.Count() != 10000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != values[len(values)-1] || h.Min() != values[0] {
+		t.Errorf("max/min = %d/%d, want %d/%d", h.Max(), h.Min(), values[len(values)-1], values[0])
+	}
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %d, want %d", h.Sum(), sum)
+	}
+}
+
+func TestHistogramEmptyAndEdge(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(0)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 2 {
+		t.Errorf("after zero records: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	if h.Quantile(0.99) != 0 {
+		t.Errorf("all-zero q99 = %d", h.Quantile(0.99))
+	}
+	// A single observation is every quantile.
+	var one Histogram
+	one.RecordDuration(3 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != int64(3*time.Millisecond) {
+			t.Errorf("single-value q%.1f = %d", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := int64(r.Intn(1 << 30))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	if a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Errorf("merged max/min = %d/%d, want %d/%d", a.Max(), a.Min(), all.Max(), all.Min())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%.2f: merged %d != direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Histogram
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before || a.Min() != all.Min() {
+		t.Error("merge of empty histogram changed state")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for gr := 0; gr < goroutines; gr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(r.Intn(1 << 20)))
+			}
+		}(int64(gr))
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i]
+	}
+	if total != goroutines*per {
+		t.Errorf("bucket total = %d, want %d", total, goroutines*per)
+	}
+}

@@ -1,0 +1,466 @@
+// Package server implements bfsd, the batching BFS query service: an HTTP
+// front end over the msbfs library that coalesces concurrent single-source
+// queries (BFS distances, closeness, reachability, k-hop counts) into wide
+// MS-PBFS batches.
+//
+// The paper's argument is that b concurrent BFS traversals over the same
+// graph share most of their work and should run as one array-based
+// multi-source pass. Real query traffic, however, arrives one source at a
+// time. The Coalescer closes that gap: requests enqueue into a bounded
+// pending queue and are flushed as one MultiBFS batch either when a full
+// batch (64 x BatchWords sources) has accumulated or when the oldest
+// request has waited FlushDeadline — the fill-or-flush policy. One visitor
+// pass answers every query kind in the batch; results are demultiplexed
+// back to the waiting requests.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	msbfs "repro"
+)
+
+// Runner is the traversal capability the coalescer needs from a graph. It
+// is satisfied by *msbfs.Graph; tests inject wrappers that count batch
+// executions.
+type Runner interface {
+	MultiBFSVisitor(sources []int, opt msbfs.Options,
+		visit func(workerID, sourceIdx, vertex, depth int)) *msbfs.MultiResult
+	NumVertices() int
+}
+
+// Kind identifies a query type. All kinds are served from the same batched
+// visitor pass.
+type Kind string
+
+const (
+	// KindBFS answers visited-vertex count, eccentricity and distances to
+	// the requested target vertices.
+	KindBFS Kind = "bfs"
+	// KindCloseness answers the source's closeness centrality
+	// (Wasserman-Faust normalization, as msbfs.Graph.Closeness).
+	KindCloseness Kind = "closeness"
+	// KindReachability answers whether Targets[0] is reachable.
+	KindReachability Kind = "reachability"
+	// KindKHop answers the number of vertices within Hops hops.
+	KindKHop Kind = "khop"
+)
+
+// Query is one single-source request.
+type Query struct {
+	Kind   Kind
+	Source int
+	// Targets are the distance targets (KindBFS, at most MaxTargets) or
+	// the single reachability target (KindReachability).
+	Targets []int
+	// Hops is the neighborhood radius for KindKHop.
+	Hops int
+}
+
+// MaxTargets bounds the per-request distance-target list; it keeps the
+// per-batch target index small and the response bounded.
+const MaxTargets = 1024
+
+// Answer is the demultiplexed per-request result. Only the fields of the
+// request's Kind are meaningful.
+type Answer struct {
+	Visited      int64   // vertices reached, including the source
+	Eccentricity int32   // greatest BFS depth reached
+	Distances    []int32 // per requested target; msbfs.NoLevel if unreachable
+	Closeness    float64
+	Reachable    bool
+	Count        int64 // vertices within Hops hops, including the source
+
+	BatchWidth int           // sources in the batch that served this request
+	Wait       time.Duration // time spent queued before the batch ran
+	Run        time.Duration // traversal time of the serving batch
+}
+
+// Coalescer errors. The HTTP layer maps ErrQueueFull to 429 + Retry-After,
+// ErrClosed to 503, and ErrBadRequest to 400.
+var (
+	ErrQueueFull  = errors.New("server: pending queue full")
+	ErrClosed     = errors.New("server: coalescer closed")
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Config tunes a Coalescer (and, via the Server, every per-graph
+// coalescer). The zero value is usable; see the field comments for
+// defaults.
+type Config struct {
+	// Workers is the traversal parallelism per batch (<=0: 1).
+	Workers int
+	// BatchWords is the MS-PBFS bitset width in 64-bit words; a full batch
+	// holds 64*BatchWords sources (<=0: 1, clamped to 8).
+	BatchWords int
+	// MaxBatch overrides the flush width in sources (0: 64*BatchWords).
+	// MaxBatch 1 disables coalescing — the per-request serving baseline
+	// that cmd/bfsload compares against.
+	MaxBatch int
+	// FlushDeadline is the longest a queued request waits before a partial
+	// batch is flushed (0: 2ms).
+	FlushDeadline time.Duration
+	// MaxPending bounds the queued (not yet dispatched) requests; beyond
+	// it Submit fails fast with ErrQueueFull (0: 4 x flush width).
+	MaxPending int
+	// RequestTimeout bounds each request server-side (0: 10s). Applied by
+	// the HTTP layer, not the Coalescer (Submit honors its Context).
+	RequestTimeout time.Duration
+}
+
+func (c Config) normalize() Config {
+	// The library's option clamping is the single source of truth for the
+	// Workers/BatchWords domains.
+	o := msbfs.Options{Workers: c.Workers, BatchWords: c.BatchWords}.Normalize()
+	c.Workers = o.Workers
+	c.BatchWords = o.BatchWords
+	if c.BatchWords == 0 {
+		c.BatchWords = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64 * c.BatchWords
+	}
+	if c.FlushDeadline <= 0 {
+		c.FlushDeadline = 2 * time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4 * c.MaxBatch
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// pendingReq is one queued request with its demux channel.
+type pendingReq struct {
+	q        Query
+	ctx      context.Context
+	done     chan outcome
+	enqueued time.Time
+}
+
+type outcome struct {
+	a   Answer
+	err error
+}
+
+// Coalescer batches single-source queries against one graph into
+// multi-source traversals. Create with NewCoalescer; Close drains it.
+type Coalescer struct {
+	g     Runner
+	cfg   Config
+	met   *Metrics
+	edges func(sources []int) int64 // Graph500 edge accounting; may be nil
+
+	mu       sync.Mutex
+	pending  []*pendingReq
+	timerGen int // invalidates stale flush timers
+	timer    *time.Timer
+	closed   bool
+	wg       sync.WaitGroup // in-flight batch executions
+}
+
+// NewCoalescer builds a coalescer over g. met must be non-nil (use
+// NewMetrics); edges may be nil to skip GTEPS accounting.
+func NewCoalescer(g Runner, cfg Config, met *Metrics, edges func([]int) int64) *Coalescer {
+	return &Coalescer{g: g, cfg: cfg.normalize(), met: met, edges: edges}
+}
+
+// Config returns the normalized configuration the coalescer runs with.
+func (c *Coalescer) Config() Config { return c.cfg }
+
+// QueueLen reports the current pending-queue depth.
+func (c *Coalescer) QueueLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// validate rejects malformed queries before they can reach (and panic) the
+// traversal layer.
+func (c *Coalescer) validate(q Query) error {
+	n := c.g.NumVertices()
+	if q.Source < 0 || q.Source >= n {
+		return fmt.Errorf("%w: source %d out of range [0, %d)", ErrBadRequest, q.Source, n)
+	}
+	switch q.Kind {
+	case KindBFS:
+		if len(q.Targets) > MaxTargets {
+			return fmt.Errorf("%w: %d targets exceeds the per-request maximum %d",
+				ErrBadRequest, len(q.Targets), MaxTargets)
+		}
+	case KindReachability:
+		if len(q.Targets) != 1 {
+			return fmt.Errorf("%w: reachability takes exactly one target", ErrBadRequest)
+		}
+	case KindKHop:
+		if q.Hops < 0 {
+			return fmt.Errorf("%w: negative hops %d", ErrBadRequest, q.Hops)
+		}
+	case KindCloseness:
+	default:
+		return fmt.Errorf("%w: unknown query kind %q", ErrBadRequest, q.Kind)
+	}
+	for _, t := range q.Targets {
+		if t < 0 || t >= n {
+			return fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, n)
+		}
+	}
+	return nil
+}
+
+// Submit enqueues q and blocks until its batch has run or ctx is done. It
+// fails fast with ErrQueueFull when the pending queue is at capacity and
+// with ErrClosed after Close has begun.
+func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
+	if err := c.validate(q); err != nil {
+		return Answer{}, err
+	}
+	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: time.Now()}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Answer{}, ErrClosed
+	}
+	if len(c.pending) >= c.cfg.MaxPending {
+		c.mu.Unlock()
+		c.met.Rejected.Add(1)
+		return Answer{}, ErrQueueFull
+	}
+	c.met.Requests.Add(1)
+	c.pending = append(c.pending, p)
+	if len(c.pending) >= c.cfg.MaxBatch {
+		c.cutLocked()
+	} else if len(c.pending) == 1 {
+		c.armTimerLocked()
+	}
+	c.mu.Unlock()
+
+	select {
+	case out := <-p.done:
+		if out.err == nil {
+			c.met.Latency.RecordDuration(time.Since(p.enqueued))
+		}
+		return out.a, out.err
+	case <-ctx.Done():
+		// The request stays in its batch (its slot may already be running);
+		// the demux send lands in the buffered channel and is dropped.
+		c.met.Canceled.Add(1)
+		return Answer{}, ctx.Err()
+	}
+}
+
+// armTimerLocked schedules a deadline flush for the batch now being filled.
+// Caller holds c.mu.
+func (c *Coalescer) armTimerLocked() {
+	if c.cfg.MaxBatch <= 1 {
+		return // width-1 batches always cut immediately; no deadline needed
+	}
+	gen := c.timerGen
+	c.timer = time.AfterFunc(c.cfg.FlushDeadline, func() {
+		c.mu.Lock()
+		if gen == c.timerGen && !c.closed && len(c.pending) > 0 {
+			c.cutLocked()
+		}
+		c.mu.Unlock()
+	})
+}
+
+// cutLocked moves the whole pending queue into a batch and dispatches it.
+// Caller holds c.mu.
+func (c *Coalescer) cutLocked() {
+	batch := c.pending
+	c.pending = nil
+	c.timerGen++ // any armed deadline flush is now stale
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if len(batch) == 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.runBatch(batch)
+	}()
+}
+
+// Close stops admission, flushes the remaining pending requests as a final
+// batch, and waits for every in-flight batch to finish — the graceful-drain
+// path of SIGTERM handling. Safe to call more than once.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	batch := c.pending
+	c.pending = nil
+	c.timerGen++
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.runBatch(batch)
+	}
+	c.wg.Wait()
+}
+
+// slotAcc accumulates one source slot's per-worker traversal tallies.
+type slotAcc struct {
+	sum     int64 // sum of discovery depths (closeness numerator)
+	reached int64 // discoveries, including the source at depth 0
+	inHops  int64 // discoveries within the slot's khop radius
+	maxd    int32 // deepest discovery
+}
+
+// runBatch executes one multi-source traversal answering every live
+// request in the batch, then demultiplexes the per-slot results.
+func (c *Coalescer) runBatch(batch []*pendingReq) {
+	now := time.Now()
+	// Drop requests whose caller already gave up; their sources would only
+	// widen the traversal for nobody.
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			p.done <- outcome{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	sources := make([]int, len(live))
+	// Per-slot read-only target index (vertex -> Distances position) and
+	// shared distance rows. Each (slot, vertex) pair is discovered exactly
+	// once across all workers, so workers write disjoint cells.
+	targetIdx := make([]map[int]int, len(live))
+	dists := make([][]int32, len(live))
+	hops := make([]int, len(live)) // -1: not a khop slot
+	depthBound := 0                // 0 while any slot needs the full traversal
+	allBounded := true
+	for i, p := range live {
+		sources[i] = p.q.Source
+		hops[i] = -1
+		switch p.q.Kind {
+		case KindKHop:
+			hops[i] = p.q.Hops
+			if p.q.Hops > depthBound {
+				depthBound = p.q.Hops
+			}
+		default:
+			allBounded = false
+		}
+		if len(p.q.Targets) > 0 {
+			idx := make(map[int]int, len(p.q.Targets))
+			row := make([]int32, len(p.q.Targets))
+			for j, t := range p.q.Targets {
+				if _, dup := idx[t]; !dup {
+					idx[t] = j
+				}
+				row[j] = msbfs.NoLevel
+			}
+			targetIdx[i] = idx
+			dists[i] = row
+		}
+	}
+
+	opt := msbfs.Options{Workers: c.cfg.Workers}
+	if allBounded {
+		// A batch of pure khop queries never needs depths beyond the
+		// widest radius; prune the traversal instead of filtering visits.
+		opt.MaxDepth = depthBound
+	}
+	workers := opt.Normalize().Workers
+	accs := make([][]slotAcc, workers)
+	for w := range accs {
+		accs[w] = make([]slotAcc, len(live))
+	}
+
+	res := c.g.MultiBFSVisitor(sources, opt, func(workerID, sourceIdx, vertex, depth int) {
+		a := &accs[workerID][sourceIdx]
+		a.sum += int64(depth)
+		a.reached++
+		if h := hops[sourceIdx]; h >= 0 && depth <= h {
+			a.inHops++
+		}
+		if int32(depth) > a.maxd {
+			a.maxd = int32(depth)
+		}
+		if idx := targetIdx[sourceIdx]; idx != nil {
+			if j, ok := idx[vertex]; ok {
+				dists[sourceIdx][j] = int32(depth)
+			}
+		}
+	})
+
+	c.met.Batches.Add(1)
+	c.met.Sources.Add(int64(len(live)))
+	c.met.BatchWidth.Record(int64(len(live)))
+	c.met.RunNanos.Add(int64(res.Elapsed))
+	if c.edges != nil {
+		c.met.Edges.Add(c.edges(sources))
+	}
+
+	n := c.g.NumVertices()
+	for i, p := range live {
+		var total slotAcc
+		for w := range accs {
+			a := accs[w][i]
+			total.sum += a.sum
+			total.reached += a.reached
+			total.inHops += a.inHops
+			if a.maxd > total.maxd {
+				total.maxd = a.maxd
+			}
+		}
+		ans := Answer{
+			Visited:      total.reached,
+			Eccentricity: total.maxd,
+			BatchWidth:   len(live),
+			Wait:         now.Sub(p.enqueued),
+			Run:          res.Elapsed,
+		}
+		switch p.q.Kind {
+		case KindBFS:
+			// Duplicate targets copy from their representative column.
+			ans.Distances = dists[i]
+			for j, t := range p.q.Targets {
+				if rep := targetIdx[i][t]; rep != j {
+					ans.Distances[j] = ans.Distances[rep]
+				}
+			}
+		case KindCloseness:
+			ans.Closeness = closenessValue(n, total.sum, total.reached)
+		case KindReachability:
+			ans.Reachable = dists[i][0] != msbfs.NoLevel
+		case KindKHop:
+			ans.Count = total.inHops
+		}
+		p.done <- outcome{a: ans}
+	}
+}
+
+// closenessValue applies the Wasserman-Faust disconnected-graph
+// normalization, matching msbfs.Graph.Closeness: (reached-1)/sum scaled by
+// the fraction of the graph reached. reached counts the source itself.
+func closenessValue(n int, sum, reached int64) float64 {
+	if reached <= 1 || sum == 0 || n <= 1 {
+		return 0
+	}
+	r := float64(reached - 1)
+	return r / float64(sum) * r / float64(n-1)
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Metrics aggregates one coalescer's serving statistics. All fields are
+// safe for concurrent update; the /metrics endpoint renders a snapshot.
+type Metrics struct {
+	Requests atomic.Int64 // admitted requests
+	Rejected atomic.Int64 // ErrQueueFull fast failures
+	Canceled atomic.Int64 // requests whose context ended while waiting
+
+	Batches  atomic.Int64 // multi-source traversals executed
+	Sources  atomic.Int64 // sources served across all batches
+	Edges    atomic.Int64 // Graph500 traversed-edge count across batches
+	RunNanos atomic.Int64 // summed batch traversal time
+
+	BatchWidth metrics.Histogram // sources per executed batch
+	Latency    metrics.Histogram // end-to-end request latency (ns)
+}
+
+// NewMetrics returns a zeroed Metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// MeanBatchWidth is the average number of sources per executed batch — the
+// amortization factor the coalescer exists to maximize. 0 when no batch has
+// run.
+func (m *Metrics) MeanBatchWidth() float64 {
+	b := m.Batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.Sources.Load()) / float64(b)
+}
+
+// GTEPS is the aggregate traversal throughput over all batches, under the
+// Graph500 edge-counting rules (each batch counts its sources' component
+// edges once per source).
+func (m *Metrics) GTEPS() float64 {
+	return metrics.GTEPS(m.Edges.Load(), time.Duration(m.RunNanos.Load()))
+}
+
+// writeTo renders the metrics in the Prometheus text exposition format,
+// labelled with the graph name. queueDepth is sampled live from the
+// coalescer.
+func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
+	l := fmt.Sprintf("{graph=%q}", graph)
+	fmt.Fprintf(w, "bfsd_requests_total%s %d\n", l, m.Requests.Load())
+	fmt.Fprintf(w, "bfsd_rejected_total%s %d\n", l, m.Rejected.Load())
+	fmt.Fprintf(w, "bfsd_canceled_total%s %d\n", l, m.Canceled.Load())
+	fmt.Fprintf(w, "bfsd_batches_total%s %d\n", l, m.Batches.Load())
+	fmt.Fprintf(w, "bfsd_sources_total%s %d\n", l, m.Sources.Load())
+	fmt.Fprintf(w, "bfsd_queue_depth%s %d\n", l, queueDepth)
+	fmt.Fprintf(w, "bfsd_batch_width_mean%s %.2f\n", l, m.MeanBatchWidth())
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{
+		{"p50", m.BatchWidth.P50()},
+		{"p95", m.BatchWidth.P95()},
+		{"max", m.BatchWidth.Max()},
+	} {
+		fmt.Fprintf(w, "bfsd_batch_width{graph=%q,quantile=%q} %d\n", graph, q.name, q.v)
+	}
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{
+		{"p50", m.Latency.P50()},
+		{"p95", m.Latency.P95()},
+		{"p99", m.Latency.P99()},
+	} {
+		fmt.Fprintf(w, "bfsd_latency_seconds{graph=%q,quantile=%q} %.6f\n",
+			graph, q.name, time.Duration(q.v).Seconds())
+	}
+	fmt.Fprintf(w, "bfsd_gteps%s %.4f\n", l, m.GTEPS())
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	msbfs "repro"
+)
+
+// TestRaceSubmitCancelShutdown hammers one coalescer with concurrent
+// submitters, aggressive per-request timeouts, and a shutdown racing the
+// traffic. Every Submit must return (an answer or a clean error) and the
+// drain must complete — run under -race this is the subsystem's leak and
+// data-race stress test.
+func TestRaceSubmitCancelShutdown(t *testing.T) {
+	g := msbfs.GenerateKronecker(9, 8, 3)
+	n := g.NumVertices()
+	met := NewMetrics()
+	c := NewCoalescer(g, Config{
+		Workers:       2,
+		BatchWords:    1,
+		FlushDeadline: 500 * time.Microsecond,
+		MaxPending:    256,
+	}, met, nil)
+
+	const submitters = 16
+	var (
+		wg       sync.WaitGroup
+		answered atomic.Int64
+		failed   atomic.Int64
+	)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				switch r.Intn(3) {
+				case 0: // tight timeout: often cancels while queued
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(r.Intn(300))*time.Microsecond)
+				case 1: // explicit cancellation racing the flush
+					ctx, cancel = context.WithCancel(ctx)
+					if r.Intn(2) == 0 {
+						cancel()
+					}
+				}
+				q := Query{Kind: KindCloseness, Source: r.Intn(n)}
+				if r.Intn(2) == 0 {
+					q = Query{Kind: KindKHop, Source: r.Intn(n), Hops: r.Intn(3)}
+				}
+				_, err := c.Submit(ctx, q)
+				cancel()
+				switch {
+				case err == nil:
+					answered.Add(1)
+				case errors.Is(err, context.Canceled),
+					errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, ErrQueueFull),
+					errors.Is(err, ErrClosed):
+					failed.Add(1)
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+				}
+			}
+		}(int64(s))
+	}
+
+	// Shut down while traffic is still flowing.
+	time.Sleep(3 * time.Millisecond)
+	c.Close()
+	wg.Wait()
+	// Close is idempotent and still drains.
+	c.Close()
+
+	total := answered.Load() + failed.Load()
+	if total != submitters*40 {
+		t.Errorf("accounted %d outcomes, want %d", total, submitters*40)
+	}
+	if c.QueueLen() != 0 {
+		t.Errorf("queue not drained: %d pending", c.QueueLen())
+	}
+}
+
+// TestRaceManyCoalescers drives several graphs' coalescers concurrently
+// through one registry, then closes the registry mid-flight.
+func TestRaceManyCoalescers(t *testing.T) {
+	cfg := Config{Workers: 2, FlushDeadline: time.Millisecond, MaxPending: 128}
+	reg := NewRegistry()
+	for i, spec := range []string{"uniform:n=300,degree=5,seed=1", "uniform:n=200,degree=4,seed=2"} {
+		if _, err := reg.Load([]string{"a", "b"}[i], spec, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 30; i++ {
+				name := []string{"a", "b"}[r.Intn(2)]
+				e, ok := reg.Get(name)
+				if !ok {
+					t.Errorf("graph %q disappeared", name)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				_, err := e.Submit(ctx, Query{Kind: KindKHop, Source: r.Intn(e.G.NumVertices()), Hops: 2})
+				cancel()
+				if err != nil && !errors.Is(err, context.DeadlineExceeded) &&
+					!errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+					t.Errorf("submit on %q: %v", name, err)
+				}
+			}
+		}(int64(w))
+	}
+	time.Sleep(2 * time.Millisecond)
+	reg.Close()
+	wg.Wait()
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	msbfs "repro"
+)
+
+// Entry is one served graph: the striped-relabeled graph, the permutation
+// mapping external (original) vertex ids to internal (relabeled) ids, the
+// Graph500 edge counter for GTEPS accounting, and the graph's coalescer.
+type Entry struct {
+	Name string
+	Spec string
+	G    *msbfs.Graph
+	// Perm maps external id -> internal id (nil when the graph was not
+	// relabeled). Queries arrive in external ids; Submit translates.
+	Perm []uint32
+	Met  *Metrics
+	Coal *Coalescer
+}
+
+// Submit validates q against the graph (error, not panic, on bad ids),
+// translates external vertex ids to the relabeled space, and hands the
+// query to the graph's coalescer.
+func (e *Entry) Submit(ctx context.Context, q Query) (Answer, error) {
+	if err := e.G.ValidateSources(append([]int{q.Source}, q.Targets...)); err != nil {
+		return Answer{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if e.Perm != nil {
+		q.Source = int(e.Perm[q.Source])
+		if len(q.Targets) > 0 {
+			mapped := make([]int, len(q.Targets))
+			for i, t := range q.Targets {
+				mapped[i] = int(e.Perm[t])
+			}
+			q.Targets = mapped
+		}
+	}
+	return e.Coal.Submit(ctx, q)
+}
+
+// Registry holds the named graphs a server instance serves.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*Entry)}
+}
+
+// Load materializes a graph from spec, applies the paper's striped
+// relabeling sized to cfg.Workers (the labeling every heavy BFS workload
+// should run under), and registers it under name.
+//
+// Spec grammar:
+//
+//	file:PATH                                 binary CSR file (graphgen/Save format)
+//	kron:scale=S[,edgefactor=E][,seed=N]      Graph500-style Kronecker graph
+//	uniform:n=N[,degree=D][,seed=N]           Erdős–Rényi random graph
+//	social:n=N[,seed=N]                       LDBC-like social network
+func (r *Registry) Load(name, spec string, cfg Config) (*Entry, error) {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: graph %q: %w", name, err)
+	}
+	return r.add(name, spec, g, true, cfg)
+}
+
+// Add registers an already-built graph (tests, in-process serving).
+// relabel applies the striped labeling as Load does.
+func (r *Registry) Add(name string, g *msbfs.Graph, relabel bool, cfg Config) (*Entry, error) {
+	return r.add(name, "inprocess", g, relabel, cfg)
+}
+
+// AddRunner registers a graph behind a custom Runner (tests inject
+// batch-counting wrappers). No relabeling is applied; ids pass through.
+func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config) (*Entry, error) {
+	met := NewMetrics()
+	e := &Entry{
+		Name: name,
+		Spec: "runner",
+		G:    g,
+		Met:  met,
+		Coal: NewCoalescer(run, cfg, met, g.NewEdgeCounter().EdgesForAll),
+	}
+	return r.register(e)
+}
+
+func (r *Registry) add(name, spec string, g *msbfs.Graph, relabel bool, cfg Config) (*Entry, error) {
+	cfg = cfg.normalize()
+	var perm []uint32
+	if relabel && g.NumVertices() > 0 {
+		g, perm = g.Relabel(msbfs.LabelStriped, cfg.Workers, 512, 1)
+	}
+	met := NewMetrics()
+	e := &Entry{
+		Name: name,
+		Spec: spec,
+		G:    g,
+		Perm: perm,
+		Met:  met,
+		Coal: NewCoalescer(g, cfg, met, g.NewEdgeCounter().EdgesForAll),
+	}
+	return r.register(e)
+}
+
+func (r *Registry) register(e *Entry) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[e.Name]; dup {
+		e.Coal.Close()
+		return nil, fmt.Errorf("server: graph %q already registered", e.Name)
+	}
+	r.graphs[e.Name] = e
+	return e, nil
+}
+
+// Get returns the named entry. With the empty name and exactly one
+// registered graph, that graph is returned — the single-graph deployment
+// convenience.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" && len(r.graphs) == 1 {
+		for _, e := range r.graphs {
+			return e, true
+		}
+	}
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// Names lists the registered graphs, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close drains every graph's coalescer: pending requests are flushed as
+// final batches and in-flight batches complete.
+func (r *Registry) Close() {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.Coal.Close()
+	}
+}
+
+// buildGraph materializes a graph from a registry spec.
+func buildGraph(spec string) (*msbfs.Graph, error) {
+	scheme, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("spec %q: want SCHEME:ARGS", spec)
+	}
+	if scheme == "file" {
+		return msbfs.LoadFile(rest)
+	}
+	kv, err := parseSpecArgs(rest)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: %w", spec, err)
+	}
+	switch scheme {
+	case "kron":
+		scale, err := kv.intArg("scale", 0)
+		if err != nil || scale <= 0 {
+			return nil, fmt.Errorf("spec %q: kron needs scale>0", spec)
+		}
+		ef, err := kv.intArg("edgefactor", 16)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := kv.intArg("seed", 42)
+		if err != nil {
+			return nil, err
+		}
+		return msbfs.GenerateKronecker(scale, ef, uint64(seed)), nil
+	case "uniform":
+		n, err := kv.intArg("n", 0)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("spec %q: uniform needs n>0", spec)
+		}
+		deg, err := kv.intArg("degree", 16)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := kv.intArg("seed", 42)
+		if err != nil {
+			return nil, err
+		}
+		return msbfs.GenerateUniform(n, deg, uint64(seed)), nil
+	case "social":
+		n, err := kv.intArg("n", 0)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("spec %q: social needs n>0", spec)
+		}
+		seed, err := kv.intArg("seed", 42)
+		if err != nil {
+			return nil, err
+		}
+		return msbfs.GenerateSocial(n, uint64(seed)), nil
+	default:
+		return nil, fmt.Errorf("spec %q: unknown scheme %q (file, kron, uniform, social)", spec, scheme)
+	}
+}
+
+type specArgs map[string]string
+
+func parseSpecArgs(s string) (specArgs, error) {
+	kv := specArgs{}
+	if s == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("malformed argument %q (want k=v)", pair)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (a specArgs) intArg(key string, def int) (int, error) {
+	s, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("argument %s=%q: not an integer", key, s)
+	}
+	return v, nil
+}

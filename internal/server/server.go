@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	msbfs "repro"
+)
+
+// Server is the HTTP front end: JSON query endpoints over a Registry, plus
+// the observability surface.
+//
+//	POST /bfs           {"graph","source","targets"}        -> visited, eccentricity, distances
+//	POST /closeness     {"graph","source"}                  -> closeness
+//	POST /reachability  {"graph","source","target"}         -> reachable
+//	POST /khop          {"graph","source","hops"}           -> count
+//	GET  /graphs                                            -> served graphs + sizes
+//	GET  /healthz                                           -> liveness
+//	GET  /metrics                                           -> Prometheus text format
+//
+// Every query response carries the width of the batch that served it and
+// the queue/traversal times, so clients (cmd/bfsload) can observe the
+// coalescing directly.
+type Server struct {
+	reg *Registry
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds a Server over reg. cfg supplies the per-request timeout;
+// per-graph batching is configured when graphs are registered.
+func New(reg *Registry, cfg Config) *Server {
+	s := &Server{reg: reg, cfg: cfg.normalize(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /bfs", s.query(KindBFS))
+	s.mux.HandleFunc("POST /closeness", s.query(KindCloseness))
+	s.mux.HandleFunc("POST /reachability", s.query(KindReachability))
+	s.mux.HandleFunc("POST /khop", s.query(KindKHop))
+	s.mux.HandleFunc("GET /graphs", s.graphs)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// MaxBatch returns the normalized flush width (sources per batch) of the
+// server's configuration.
+func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
+
+// Close drains the registry's coalescers (flush + wait). The HTTP listener
+// shutdown is the caller's job (http.Server.Shutdown before Close).
+func (s *Server) Close() { s.reg.Close() }
+
+// queryRequest is the JSON body shared by all query endpoints; each kind
+// reads the fields it needs.
+type queryRequest struct {
+	Graph   string `json:"graph,omitempty"`
+	Source  int    `json:"source"`
+	Targets []int  `json:"targets,omitempty"` // bfs distance targets
+	Target  *int   `json:"target,omitempty"`  // reachability target
+	Hops    int    `json:"hops,omitempty"`    // khop radius
+	// TimeoutMS overrides the server's request timeout (bounded by it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the JSON answer. Kind-specific fields are omitted when
+// empty.
+type queryResponse struct {
+	Graph        string  `json:"graph"`
+	Kind         Kind    `json:"kind"`
+	Source       int     `json:"source"`
+	Visited      int64   `json:"visited,omitempty"`
+	Eccentricity int32   `json:"eccentricity,omitempty"`
+	Distances    []int32 `json:"distances,omitempty"`
+	Closeness    float64 `json:"closeness,omitempty"`
+	Reachable    *bool   `json:"reachable,omitempty"`
+	Count        int64   `json:"count,omitempty"`
+	BatchWidth   int     `json:"batch_width"`
+	WaitMicros   int64   `json:"wait_us"`
+	RunMicros    int64   `json:"run_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) query(kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		e, ok := s.reg.Get(req.Graph)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q (serving: %s)",
+				req.Graph, strings.Join(s.reg.Names(), ", ")))
+			return
+		}
+		q := Query{Kind: kind, Source: req.Source, Targets: req.Targets, Hops: req.Hops}
+		if kind == KindReachability {
+			if req.Target == nil {
+				writeError(w, http.StatusBadRequest, errors.New("reachability requires \"target\""))
+				return
+			}
+			q.Targets = []int{*req.Target}
+		}
+
+		timeout := s.cfg.RequestTimeout
+		if req.TimeoutMS > 0 {
+			if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+				timeout = t
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		ans, err := e.Submit(ctx, q)
+		if err != nil {
+			s.writeSubmitError(w, err)
+			return
+		}
+		resp := queryResponse{
+			Graph:        e.Name,
+			Kind:         kind,
+			Source:       req.Source,
+			Visited:      ans.Visited,
+			Eccentricity: ans.Eccentricity,
+			Distances:    ans.Distances,
+			Closeness:    ans.Closeness,
+			Count:        ans.Count,
+			BatchWidth:   ans.BatchWidth,
+			WaitMicros:   ans.Wait.Microseconds(),
+			RunMicros:    ans.Run.Microseconds(),
+		}
+		if kind == KindReachability {
+			resp.Reachable = &ans.Reachable
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// writeSubmitError maps coalescer errors onto HTTP status codes; 429
+// carries a Retry-After hint sized to the flush cadence.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is a formality.
+		writeError(w, 499, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+type graphInfo struct {
+	Name     string `json:"name"`
+	Spec     string `json:"spec"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	MaxBatch int    `json:"max_batch"`
+}
+
+func (s *Server) graphs(w http.ResponseWriter, _ *http.Request) {
+	var infos []graphInfo
+	for _, name := range s.reg.Names() {
+		e, _ := s.reg.Get(name)
+		infos = append(infos, graphInfo{
+			Name:     e.Name,
+			Spec:     e.Spec,
+			Vertices: e.G.NumVertices(),
+			Edges:    e.G.NumEdges(),
+			MaxBatch: e.Coal.Config().MaxBatch,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"graphs": s.reg.Names(),
+	})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	names := s.reg.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		e, _ := s.reg.Get(name)
+		e.Met.writeTo(w, name, e.Coal.QueueLen())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// Unreachable is the distance value reported for unreachable targets in
+// query responses, re-exported so clients need not import the library.
+const Unreachable = msbfs.NoLevel

@@ -309,13 +309,17 @@ func TestMultiBFSVisitorConcurrencyContract(t *testing.T) {
 }
 
 func TestOptionsBatchWordsValidation(t *testing.T) {
+	// Out-of-domain options are clamped by Normalize at every public entry
+	// point (BatchWords 9 -> 8), so user-supplied values cannot panic.
 	g := NewGraph(3, []Edge{{U: 0, V: 1}})
-	defer func() {
-		if recover() == nil {
-			t.Error("BatchWords=9 did not panic")
-		}
-	}()
-	g.MultiBFS([]int{0}, Options{BatchWords: 9})
+	res := g.MultiBFS([]int{0}, Options{BatchWords: 9, RecordLevels: true})
+	if len(res.Levels) != 1 || res.Levels[0][1] != 1 {
+		t.Errorf("clamped run returned wrong levels: %v", res.Levels)
+	}
+	n := Options{Workers: -3, BatchWords: 99, MaxDepth: -1}.Normalize()
+	if n.Workers != 1 || n.BatchWords != 8 || n.MaxDepth != 0 {
+		t.Errorf("Normalize = %+v", n)
+	}
 }
 
 func TestLargestComponentSubgraphFacade(t *testing.T) {

@@ -112,9 +112,5 @@ func (g *Graph) Betweenness(sources []int, opt Options) []float64 {
 	for _, s := range sources {
 		g.checkSource(s)
 	}
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	return core.BrandesBetweenness(g.g, sources, workers)
+	return core.BrandesBetweenness(g.g, sources, opt.Normalize().Workers)
 }

@@ -12,10 +12,7 @@ import (
 // machinery that runs the BFS kernels.
 func (g *Graph) Triangles(opt Options) int64 {
 	n := g.NumVertices()
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	workers := opt.Normalize().Workers
 	counts := make([]int64, workers*8) // spaced to avoid false sharing
 	pool := sched.NewPool(workers, false)
 	defer pool.Close()

@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet race debug ci fmt serve loadtest
+.PHONY: all build test lint vet race debug ci fmt serve loadtest perf perf-compare fuzz-smoke
 
 all: build
 
@@ -56,6 +56,25 @@ LOAD_REQUESTS ?= 5000
 loadtest:
 	$(GO) run ./cmd/bfsload -inprocess $(LOAD_SPEC) \
 		-clients $(LOAD_CLIENTS) -requests $(LOAD_REQUESTS)
+
+# perf = run the pinned benchmark suite and write BENCH_<sha>.json (see
+# docs/BENCHMARKS.md). PERF_FLAGS=-quick for the CI-sized variant.
+PERF_FLAGS ?=
+perf:
+	$(GO) run ./cmd/bfsperf run $(PERF_FLAGS)
+
+# perf-compare = noise-aware gate between two reports:
+#   make perf-compare OLD=BENCH_abc.json NEW=BENCH_def.json
+perf-compare:
+	$(GO) run ./cmd/bfsperf compare $(OLD) $(NEW)
+
+# fuzz-smoke = replay the committed seed corpora, then a short randomized
+# burst per target. Catches loader regressions without a long fuzz session.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^Fuzz' ./internal/graph/
+	$(GO) test -fuzz '^FuzzLoadEdgeList$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+	$(GO) test -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 
 # ci mirrors .github/workflows/ci.yml.
 ci: build lint test race debug

@@ -123,8 +123,8 @@ func run(graphs graphFlags, addr string, cfg server.Config, drainWait time.Durat
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("listener shutdown: %w", err)
 	}
-	<-errc          // reap the listener goroutine (returns ErrServerClosed)
-	srv.Close()     // flush queued requests as final batches, wait for batches
+	<-errc      // reap the listener goroutine (returns ErrServerClosed)
+	srv.Close() // flush queued requests as final batches, wait for batches
 	log.Print("drained cleanly")
 	return nil
 }

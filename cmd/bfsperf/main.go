@@ -1,0 +1,181 @@
+// Command bfsperf is the performance-regression harness CLI.
+//
+//	bfsperf run [-quick] [-out file] [-scale N] [-sources N] [-workers N]
+//	            [-reps N] [-warmup N] [-seed N] [-handicap name=factor]
+//	bfsperf compare [-strict] old.json new.json
+//	bfsperf list
+//
+// `run` executes the pinned scenario suite under the fixed measurement
+// protocol and writes a versioned JSON report, by default BENCH_<sha>.json
+// in the current directory — the repo's perf trajectory file. `compare`
+// joins two reports and applies the noise-aware gate, exiting nonzero on a
+// confirmed regression (median beyond the scenario threshold AND separated
+// bootstrap confidence intervals). Reports taken on different machines are
+// compared advisorily unless -strict. See docs/BENCHMARKS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:], os.Stdout)
+	case "compare":
+		err = compareCmd(os.Args[2:], os.Stdout)
+	case "list":
+		err = listCmd(os.Stdout)
+	case "-h", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bfsperf: unknown command %q\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsperf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  bfsperf run [-quick] [-out file] [-scale N] [-sources N] [-workers N]
+              [-reps N] [-warmup N] [-seed N] [-handicap name=factor] [-v]
+  bfsperf compare [-strict] old.json new.json
+  bfsperf list
+`)
+}
+
+// handicapFlags collects repeated -handicap name=factor pairs.
+type handicapFlags map[string]float64
+
+func (h handicapFlags) String() string { return fmt.Sprint(map[string]float64(h)) }
+
+func (h handicapFlags) Set(v string) error {
+	name, factorStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=factor, got %q", v)
+	}
+	f, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil {
+		return fmt.Errorf("factor in %q: %w", v, err)
+	}
+	h[name] = f
+	return nil
+}
+
+func runCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bfsperf run", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "small graph and few reps (the CI sizing)")
+		out     = fs.String("out", "", "output path (default BENCH_<sha>.json)")
+		scale   = fs.Int("scale", 0, "Kronecker scale (0: suite default)")
+		sources = fs.Int("sources", 0, "multi-source workload size (0: 64)")
+		workers = fs.Int("workers", 0, "traversal workers (0: GOMAXPROCS)")
+		reps    = fs.Int("reps", 0, "measured repetitions (0: suite default)")
+		warmup  = fs.Int("warmup", 0, "warmup rounds (0: suite default)")
+		seed    = fs.Uint64("seed", 0, "workload seed (0: suite default)")
+		verbose = fs.Bool("v", false, "progress output")
+	)
+	handicaps := handicapFlags{}
+	fs.Var(handicaps, "handicap",
+		"inflate a scenario's timings by a factor (name=factor, repeatable; gate self-test)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("run takes no positional arguments, got %v", fs.Args())
+	}
+
+	cfg := perf.Config{
+		Quick:   *quick,
+		Scale:   *scale,
+		Sources: *sources,
+		Workers: *workers,
+		Reps:    *reps,
+		Warmup:  *warmup,
+		Seed:    *seed,
+	}
+	if len(handicaps) > 0 {
+		cfg.Handicaps = handicaps
+	}
+	if *verbose {
+		cfg.Out = stdout
+	}
+	report, err := perf.Run(cfg)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = report.DefaultFileName()
+	}
+	if err := report.WriteFile(path); err != nil {
+		return err
+	}
+	report.WriteTable(stdout)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}
+
+// errRegression marks a gated compare failure (exit 1 without the
+// "bfsperf:" prefix noise being the only signal).
+type errRegression struct{ count int }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("%d confirmed regression(s)", e.count)
+}
+
+func compareCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bfsperf compare", flag.ContinueOnError)
+	strict := fs.Bool("strict", false,
+		"gate regressions even when the reports' environments differ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare takes exactly two report paths, got %v", fs.Args())
+	}
+	oldRep, err := perf.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := perf.ReadReportFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	cmp := perf.Compare(oldRep, newRep)
+	cmp.WriteTable(stdout)
+	if n := cmp.Regressions(); n > 0 {
+		if cmp.Gate(*strict) {
+			return errRegression{count: n}
+		}
+		fmt.Fprintf(stdout, "%d regression(s) observed but environments differ; advisory only (use -strict to gate)\n", n)
+	} else {
+		fmt.Fprintln(stdout, "no confirmed regressions")
+	}
+	return nil
+}
+
+func listCmd(stdout io.Writer) error {
+	for _, s := range perf.Scenarios() {
+		fmt.Fprintf(stdout, "%-22s %s (unit: %s, gate: %.0f%%)\n",
+			s.Name, s.Title, s.WorkUnit, perf.Threshold(s.Name)*100)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// tinyRunArgs keeps CLI-level suite runs fast: smallest graph the source
+// workload fits, minimal repetitions.
+func tinyRunArgs(extra ...string) []string {
+	args := []string{"-quick", "-scale", "9", "-workers", "2", "-reps", "3", "-warmup", "1"}
+	return append(args, extra...)
+}
+
+func TestRunWritesValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the measured suite; skipped with -short")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	if err := runCmd(tinyRunArgs("-out", out), &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadReportFile(out)
+	if err != nil {
+		t.Fatalf("run wrote an invalid report: %v", err)
+	}
+	if rep.SchemaVersion != perf.SchemaVersion || len(rep.Scenarios) != len(perf.Scenarios()) {
+		t.Errorf("report: version %d, %d rows", rep.SchemaVersion, len(rep.Scenarios))
+	}
+	if !strings.Contains(buf.String(), "wrote ") {
+		t.Errorf("run output missing path notice:\n%s", buf.String())
+	}
+}
+
+func TestRunDefaultFileNameIsBenchSha(t *testing.T) {
+	// The default output name must follow the BENCH_<sha>.json trajectory
+	// convention; checked via the report's own naming, no suite run needed.
+	rep := &perf.Report{Env: perf.CaptureEnvironment()}
+	name := rep.DefaultFileName()
+	if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+		t.Errorf("default file name %q does not match BENCH_<sha>.json", name)
+	}
+}
+
+func TestCompareCLIGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the measured suite; skipped with -short")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	slow := filepath.Join(dir, "slow.json")
+	var discard bytes.Buffer
+	if err := runCmd(tinyRunArgs("-out", base), &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd(tinyRunArgs("-out", same), &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd(tinyRunArgs("-out", slow, "-handicap", "mspbfs/auto=2"), &discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := compareCmd([]string{base, same}, &buf); err != nil {
+		t.Errorf("same-machine back-to-back compare failed: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	err := compareCmd([]string{base, slow}, &buf)
+	if err == nil {
+		t.Fatalf("2x handicapped run not gated:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("gate error = %v", err)
+	}
+	if !strings.Contains(buf.String(), "mspbfs/auto") {
+		t.Errorf("delta table missing the slowed scenario:\n%s", buf.String())
+	}
+}
+
+func TestCompareCLIErrors(t *testing.T) {
+	if err := compareCmd([]string{"only-one.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("single path accepted")
+	}
+	if err := compareCmd([]string{"a.json", "b.json"}, &bytes.Buffer{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing files: err = %v", err)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareCmd([]string{bad, bad}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed report accepted")
+	}
+}
+
+func TestRunCLIErrors(t *testing.T) {
+	if err := runCmd([]string{"-handicap", "nonsense"}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed -handicap accepted")
+	}
+	if err := runCmd([]string{"-handicap", "no/such=2"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown handicap scenario accepted")
+	}
+	if err := runCmd([]string{"positional"}, &bytes.Buffer{}); err == nil {
+		t.Error("positional run argument accepted")
+	}
+}
+
+func TestListCmd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listCmd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range perf.ScenarioNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("list output missing %s", name)
+		}
+	}
+}

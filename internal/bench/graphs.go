@@ -43,6 +43,20 @@ func kronecker(scale int, seed uint64) *graph.Graph {
 	})
 }
 
+// KroneckerGraph exposes the memoized Graph500 Kronecker builder to other
+// packages: internal/perf pins its scenarios to the exact graphs the
+// figure/table experiments measure, so perf rows and paper figures are
+// comparing the same inputs.
+func KroneckerGraph(scale int, seed uint64) *graph.Graph {
+	return kronecker(scale, seed)
+}
+
+// StripedKroneckerGraph exposes the striped-relabeled variant the parallel
+// experiments (and the perf suite's traversal scenarios) run on.
+func StripedKroneckerGraph(scale, workers int, seed uint64) *graph.Graph {
+	return stripedKronecker(scale, workers, seed)
+}
+
 // stripedKronecker is kronecker relabeled with the paper's striped scheme.
 func stripedKronecker(scale, workers int, seed uint64) *graph.Graph {
 	return cachedGraph(key("kron-striped", scale, workers, int(seed)), func() *graph.Graph {

@@ -1,0 +1,135 @@
+package core
+
+// Direction-forcing equivalence: Beamer-style direction switching is a
+// pure performance optimization, so MS-PBFS must produce identical
+// distance arrays whether every iteration runs top-down (Listing 1),
+// every iteration runs bottom-up (Listing 2), or the alpha/beta heuristic
+// switches freely. The same holds for the bottom-up early exit ("stop
+// scanning a vertex's neighbors once all its BFS bits are set") — it may
+// only skip redundant work, never discoveries.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func directionGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		// Dense core: auto mode actually switches to bottom-up here.
+		"kron": gen.Kronecker(gen.Graph500Params(10, 3)),
+		// Sparse, multi-component, high diameter: auto mostly stays
+		// top-down and unreachable vertices stay NoLevel.
+		"uniform": gen.Uniform(4000, 3, 13),
+	}
+}
+
+func assertLevels(t *testing.T, want, got []int32, ctx string) {
+	t.Helper()
+	mismatches := 0
+	for v := range want {
+		if want[v] != got[v] {
+			if mismatches < 5 {
+				t.Errorf("%s: vertex %d: level %d, want %d", ctx, v, got[v], want[v])
+			}
+			mismatches++
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("%s: ... and %d more mismatches", ctx, mismatches-5)
+	}
+}
+
+// TestMSPBFSDirectionForcingEquivalence runs the same workload under all
+// three direction policies and several parallelism/width settings; every
+// distance array must match the forced-top-down run and the oracle.
+func TestMSPBFSDirectionForcingEquivalence(t *testing.T) {
+	for gname, g := range directionGraphs() {
+		// 96 sources at BatchWords 1 also exercises the two-batch path.
+		sources := RandomSources(g, 96, 29)
+		for _, workers := range []int{1, 3} {
+			for _, batchWords := range []int{1, 2} {
+				opt := Options{Workers: workers, BatchWords: batchWords, RecordLevels: true}
+
+				tdOpt := opt
+				tdOpt.Direction = TopDownOnly
+				td := MSPBFS(g, sources, tdOpt)
+
+				buOpt := opt
+				buOpt.Direction = BottomUpOnly
+				bu := MSPBFS(g, sources, buOpt)
+
+				autoOpt := opt
+				autoOpt.Direction = Auto
+				auto := MSPBFS(g, sources, autoOpt)
+
+				for i, s := range sources {
+					ctx := fmt.Sprintf("%s workers=%d words=%d source %d",
+						gname, workers, batchWords, s)
+					oracle := ReferenceLevels(g, s)
+					assertLevels(t, oracle, td.Levels[i], ctx+" top-down")
+					assertLevels(t, td.Levels[i], bu.Levels[i], ctx+" bottom-up vs top-down")
+					assertLevels(t, td.Levels[i], auto.Levels[i], ctx+" auto vs top-down")
+				}
+				if td.VisitedStates != bu.VisitedStates || td.VisitedStates != auto.VisitedStates {
+					t.Errorf("%s workers=%d words=%d: visited states td=%d bu=%d auto=%d",
+						gname, workers, batchWords,
+						td.VisitedStates, bu.VisitedStates, auto.VisitedStates)
+				}
+			}
+		}
+	}
+}
+
+// TestMSPBFSBottomUpEarlyExitEquivalence pins the Listing 2 early-exit
+// path explicitly: forced bottom-up with and without the early exit must
+// discover exactly the same (source, vertex, depth) set.
+func TestMSPBFSBottomUpEarlyExitEquivalence(t *testing.T) {
+	for gname, g := range directionGraphs() {
+		sources := RandomSources(g, 64, 31)
+		for _, workers := range []int{1, 3} {
+			opt := Options{
+				Workers:      workers,
+				BatchWords:   1,
+				Direction:    BottomUpOnly,
+				RecordLevels: true,
+			}
+			with := MSPBFS(g, sources, opt)
+
+			noExit := opt
+			noExit.DisableEarlyExit = true
+			without := MSPBFS(g, sources, noExit)
+
+			for i, s := range sources {
+				assertLevels(t, without.Levels[i], with.Levels[i],
+					fmt.Sprintf("%s workers=%d source %d early-exit", gname, workers, s))
+			}
+			if with.VisitedStates != without.VisitedStates {
+				t.Errorf("%s workers=%d: visited states with exit %d, without %d",
+					gname, workers, with.VisitedStates, without.VisitedStates)
+			}
+		}
+	}
+}
+
+// TestSMSPBFSDirectionForcingEquivalence covers the single-source variant
+// in both state representations under all three policies.
+func TestSMSPBFSDirectionForcingEquivalence(t *testing.T) {
+	for gname, g := range directionGraphs() {
+		sources := RandomSources(g, 3, 37)
+		for _, repr := range []StateRepr{BitState, ByteState} {
+			for _, s := range sources {
+				oracle := ReferenceLevels(g, s)
+				for _, d := range []Direction{TopDownOnly, BottomUpOnly, Auto} {
+					res := SMSPBFS(g, s, repr, Options{
+						Workers: 2, Direction: d, RecordLevels: true,
+					})
+					assertLevels(t, oracle, res.Levels,
+						fmt.Sprintf("%s %v source %d direction %d", gname, repr, s, d))
+				}
+			}
+		}
+	}
+}

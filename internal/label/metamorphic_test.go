@@ -1,0 +1,141 @@
+package label_test
+
+// Metamorphic relabeling tests: a vertex relabeling is an isomorphism, so
+// BFS distances must be invariant under it — dist_relabeled(perm[s], perm[v])
+// == dist_identity(s, v) for every scheme, algorithm and state
+// representation. The oracle is the textbook FIFO BFS on the unrelabeled
+// graph; any disagreement means either the labeling broke the permutation
+// contract or a kernel depends on vertex order where it must not.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+// relabelCases enumerates every scheme with the parameters it needs.
+// Striped is exercised with a worker count that does not divide the vertex
+// count evenly, so the partial-final-block path is covered too.
+func relabelCases() []struct {
+	name   string
+	scheme label.Scheme
+	params label.Params
+} {
+	return []struct {
+		name   string
+		scheme label.Scheme
+		params label.Params
+	}{
+		{"identity", label.Identity, label.Params{}},
+		{"random", label.Random, label.Params{Seed: 99}},
+		{"ordered", label.DegreeOrdered, label.Params{}},
+		{"striped", label.Striped, label.Params{Workers: 3, TaskSize: 512}},
+	}
+}
+
+func metamorphicGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		// Dense-ish Kronecker core with isolated vertices at the fringe.
+		"kron": gen.Kronecker(gen.Graph500Params(9, 42)),
+		// Sparse uniform graph with several components and unreachable pairs.
+		"uniform": gen.Uniform(3000, 3, 7),
+	}
+}
+
+func oracleLevels(g *graph.Graph, sources []int) [][]int32 {
+	out := make([][]int32, len(sources))
+	for i, s := range sources {
+		out[i] = core.ReferenceLevels(g, s)
+	}
+	return out
+}
+
+// assertMapped checks got (levels on the relabeled graph, indexed by new
+// ids) against want (oracle levels on the original graph) through perm.
+func assertMapped(t *testing.T, perm []graph.VertexID, got, want []int32, ctx string) {
+	t.Helper()
+	mismatches := 0
+	for v := range want {
+		if g, w := got[perm[v]], want[v]; g != w {
+			if mismatches < 5 {
+				t.Errorf("%s: vertex %d (relabeled %d): level %d, oracle %d", ctx, v, perm[v], g, w)
+			}
+			mismatches++
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("%s: ... and %d more mismatches", ctx, mismatches-5)
+	}
+}
+
+func TestMSPBFSRelabelingMetamorphic(t *testing.T) {
+	for gname, g := range metamorphicGraphs() {
+		sources := core.RandomSources(g, 8, 5)
+		oracle := oracleLevels(g, sources)
+		for _, tc := range relabelCases() {
+			t.Run(gname+"/"+tc.name, func(t *testing.T) {
+				rg, perm := label.Apply(g, tc.scheme, tc.params)
+				mapped := make([]int, len(sources))
+				for i, s := range sources {
+					mapped[i] = int(perm[s])
+				}
+				for _, workers := range []int{1, 3} {
+					res := core.MSPBFS(rg, mapped, core.Options{
+						Workers: workers, BatchWords: 1, RecordLevels: true,
+					})
+					for i := range sources {
+						ctx := fmt.Sprintf("MS-PBFS workers=%d source %d", workers, sources[i])
+						assertMapped(t, perm, res.Levels[i], oracle[i], ctx)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSMSPBFSRelabelingMetamorphic(t *testing.T) {
+	for gname, g := range metamorphicGraphs() {
+		sources := core.RandomSources(g, 2, 11)
+		oracle := oracleLevels(g, sources)
+		for _, tc := range relabelCases() {
+			t.Run(gname+"/"+tc.name, func(t *testing.T) {
+				rg, perm := label.Apply(g, tc.scheme, tc.params)
+				for _, repr := range []core.StateRepr{core.BitState, core.ByteState} {
+					for i, s := range sources {
+						res := core.SMSPBFS(rg, int(perm[s]), repr, core.Options{
+							Workers: 2, RecordLevels: true,
+						})
+						ctx := fmt.Sprintf("SMS-PBFS %v source %d", repr, s)
+						assertMapped(t, perm, res.Levels, oracle[i], ctx)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSequentialMSBFSRelabelingMetamorphic closes the loop on the
+// sequential baseline the parallel kernels are compared against.
+func TestSequentialMSBFSRelabelingMetamorphic(t *testing.T) {
+	g := metamorphicGraphs()["kron"]
+	sources := core.RandomSources(g, 8, 17)
+	oracle := oracleLevels(g, sources)
+	for _, tc := range relabelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rg, perm := label.Apply(g, tc.scheme, tc.params)
+			mapped := make([]int, len(sources))
+			for i, s := range sources {
+				mapped[i] = int(perm[s])
+			}
+			res := core.MSBFS(rg, mapped, core.Options{BatchWords: 1, RecordLevels: true})
+			for i := range sources {
+				assertMapped(t, perm, res.Levels[i], oracle[i],
+					fmt.Sprintf("MS-BFS source %d", sources[i]))
+			}
+		})
+	}
+}

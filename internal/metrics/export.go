@@ -1,0 +1,54 @@
+package metrics
+
+// This file defines the JSON-exportable views of the measurement types.
+// The perf harness (internal/perf) embeds these summaries in its versioned
+// BENCH_<sha>.json rows; keeping the field set and tags here means the
+// schema follows the metrics types instead of being re-declared per tool.
+
+// HistogramSummary is the JSON view of a Histogram: counts plus the
+// quantiles the server and load tools already report. Values carry the
+// histogram's native unit (nanoseconds for latency histograms).
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary captures the histogram's current state for export. Like the
+// accessors it is built on, it is safe to call concurrently with Record.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+	}
+}
+
+// RunSummary is the JSON view of a RunStat: wall time, Graph500 edge
+// accounting and the derived GTEPS, without the per-iteration detail.
+type RunSummary struct {
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	TraversedEdges int64   `json:"traversed_edges"`
+	Sources        int     `json:"sources"`
+	Iterations     int     `json:"iterations"`
+	GTEPS          float64 `json:"gteps"`
+}
+
+// Summary converts the run into its exportable form.
+func (r RunStat) Summary() RunSummary {
+	return RunSummary{
+		ElapsedNs:      int64(r.Elapsed),
+		TraversedEdges: r.TraversedEdges,
+		Sources:        r.Sources,
+		Iterations:     len(r.Iterations),
+		GTEPS:          r.GTEPS(),
+	}
+}

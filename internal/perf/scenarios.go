@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	msbfs "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// suiteEnv is the shared fixture every scenario runs against: one
+// fixed-seed Kronecker graph (striped-relabeled exactly as the figure
+// experiments run it), one source workload, one edge counter. Building it
+// once keeps iterations cheap and identical across repetitions.
+type suiteEnv struct {
+	cfg     Config
+	g       *graph.Graph // striped labeling, the suite's traversal input
+	sources []int
+	counter *metrics.EdgeCounter
+	edges   []graph.Edge // canonical edge list for the CSR build scenario
+	srvG    *msbfs.Graph // the same CSR wrapped for the coalescer
+}
+
+func newSuiteEnv(cfg Config) (*suiteEnv, error) {
+	base := bench.KroneckerGraph(cfg.Scale, cfg.Seed)
+	striped, _ := label.Apply(base, label.Striped,
+		label.Params{Workers: cfg.Workers, TaskSize: 512})
+	sources := core.RandomSources(striped, cfg.Sources, cfg.Seed)
+	if len(sources) < cfg.Sources {
+		return nil, fmt.Errorf("perf: graph scale %d yielded only %d/%d usable sources",
+			cfg.Scale, len(sources), cfg.Sources)
+	}
+	n := striped.NumVertices()
+	edges := make([]graph.Edge, 0, striped.NumEdges())
+	for v := 0; v < n; v++ {
+		for _, u := range striped.Neighbors(v) {
+			if int(u) > v {
+				edges = append(edges, graph.Edge{U: graph.VertexID(v), V: u})
+			}
+		}
+	}
+	return &suiteEnv{
+		cfg:     cfg,
+		g:       striped,
+		sources: sources,
+		counter: metrics.NewEdgeCounter(striped),
+		edges:   edges,
+		srvG:    msbfs.NewGraphFromAdjacency(striped.Offsets, striped.Adjacency),
+	}, nil
+}
+
+func (e *suiteEnv) traversalOpts() core.Options {
+	return core.Options{Workers: e.cfg.Workers, BatchWords: 1}
+}
+
+// runMulti times one multi-source run over the whole workload.
+func runMulti(e *suiteEnv, f func() *core.MultiResult) Sample {
+	start := time.Now()
+	res := f()
+	elapsed := time.Since(start)
+	st := res.Stats
+	st.TraversedEdges = e.counter.EdgesForAll(e.sources)
+	return Sample{Elapsed: elapsed, Work: st.TraversedEdges, Stats: &st}
+}
+
+// runSingle times one single-source run from the workload's first source.
+func runSingle(e *suiteEnv, f func() *core.Result) Sample {
+	start := time.Now()
+	res := f()
+	elapsed := time.Since(start)
+	st := res.Stats
+	st.TraversedEdges = e.counter.EdgesFor(e.sources[0])
+	return Sample{Elapsed: elapsed, Work: st.TraversedEdges, Stats: &st}
+}
+
+func runMSPBFSDirection(e *suiteEnv, d core.Direction) Sample {
+	opt := e.traversalOpts()
+	opt.Direction = d
+	return runMulti(e, func() *core.MultiResult {
+		return core.MSPBFS(e.g, e.sources, opt)
+	})
+}
+
+func runMSPBFSTopDown(e *suiteEnv) Sample  { return runMSPBFSDirection(e, core.TopDownOnly) }
+func runMSPBFSBottomUp(e *suiteEnv) Sample { return runMSPBFSDirection(e, core.BottomUpOnly) }
+func runMSPBFSAuto(e *suiteEnv) Sample     { return runMSPBFSDirection(e, core.Auto) }
+
+func runSMSPBFS(e *suiteEnv, repr core.StateRepr) Sample {
+	opt := e.traversalOpts()
+	return runSingle(e, func() *core.Result {
+		return core.SMSPBFS(e.g, e.sources[0], repr, opt)
+	})
+}
+
+func runSMSPBFSBit(e *suiteEnv) Sample  { return runSMSPBFS(e, core.BitState) }
+func runSMSPBFSByte(e *suiteEnv) Sample { return runSMSPBFS(e, core.ByteState) }
+
+func runMSBFSSeq(e *suiteEnv) Sample {
+	opt := core.Options{Workers: 1, BatchWords: 1}
+	return runMulti(e, func() *core.MultiResult {
+		return core.MSBFS(e.g, e.sources, opt)
+	})
+}
+
+func runBeamerGAPBS(e *suiteEnv) Sample {
+	return runSingle(e, func() *core.Result {
+		return core.Beamer(e.g, e.sources[0], core.BeamerGAPBS, core.Options{})
+	})
+}
+
+func runCSRBuild(e *suiteEnv) Sample {
+	start := time.Now()
+	b := graph.NewBuilder(e.g.NumVertices())
+	for _, ed := range e.edges {
+		b.AddEdge(ed.U, ed.V)
+	}
+	g := b.BuildParallel(e.cfg.Workers)
+	elapsed := time.Since(start)
+	return Sample{Elapsed: elapsed, Work: g.NumEdges()}
+}
+
+func runCoalescer(e *suiteEnv) Sample {
+	c := server.NewCoalescer(e.srvG, server.Config{
+		Workers:       e.cfg.Workers,
+		BatchWords:    1,
+		FlushDeadline: time.Millisecond,
+		MaxPending:    e.cfg.LoadRequests + e.cfg.LoadClients,
+	}, server.NewMetrics(), nil)
+	st := server.DriveLoad(c, server.LoadSpec{
+		Clients:  e.cfg.LoadClients,
+		Requests: e.cfg.LoadRequests,
+		Seed:     e.cfg.Seed,
+	})
+	c.Close()
+	return Sample{
+		Elapsed: st.Elapsed,
+		Work:    int64(st.Requests - st.Failed),
+		Latency: &st.Latency,
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// LoadSpec configures DriveLoad, the in-process closed-loop load generator.
+// It exists so throughput harnesses (internal/perf, cmd/bfsload's in-process
+// mode) can measure the coalescer itself without HTTP framing noise.
+type LoadSpec struct {
+	// Clients is the number of concurrent closed-loop submitters (<=0: 1).
+	Clients int
+	// Requests is the total request budget across all clients (<=0: Clients).
+	Requests int
+	// Kind fixes the query kind; empty cycles bfs/closeness/reachability/khop.
+	Kind Kind
+	// Seed drives source selection deterministically.
+	Seed uint64
+}
+
+// LoadStats aggregates one DriveLoad run.
+type LoadStats struct {
+	Requests int           // submitted requests
+	Failed   int           // requests that returned an error
+	Elapsed  time.Duration // wall clock of the whole run
+	Latency  metrics.Histogram
+	Width    metrics.Histogram // batch width serving each successful request
+}
+
+// MeanBatchWidth is the achieved coalescing factor as clients observed it.
+func (s *LoadStats) MeanBatchWidth() float64 { return s.Width.Mean() }
+
+// DriveLoad runs a closed-loop workload against c: each client submits its
+// next query as soon as the previous one is answered, so concurrency — and
+// therefore the achievable batch width — is exactly the client count. The
+// workload is deterministic in spec.Seed (timings are not).
+func DriveLoad(c *Coalescer, spec LoadSpec) *LoadStats {
+	clients := spec.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	total := spec.Requests
+	if total < clients {
+		total = clients
+	}
+	n := c.g.NumVertices()
+	kinds := []Kind{KindBFS, KindCloseness, KindReachability, KindKHop}
+
+	st := &LoadStats{Requests: total}
+	var mu sync.Mutex // guards Failed; histograms are internally atomic
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		// Spread the budget; the first clients absorb the remainder.
+		quota := total / clients
+		if cl < total%clients {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cl, quota int) {
+			defer wg.Done()
+			x := spec.Seed + uint64(cl)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				x ^= x >> 12
+				x ^= x << 25
+				x ^= x >> 27
+				return x * 0x2545f4914f6cdd1d
+			}
+			for i := 0; i < quota; i++ {
+				q := Query{Source: int(next() % uint64(n))}
+				if spec.Kind != "" {
+					q.Kind = spec.Kind
+				} else {
+					q.Kind = kinds[int(next()%uint64(len(kinds)))]
+				}
+				switch q.Kind {
+				case KindBFS:
+					q.Targets = []int{int(next() % uint64(n))}
+				case KindReachability:
+					q.Targets = []int{int(next() % uint64(n))}
+				case KindKHop:
+					q.Hops = int(next()%3) + 1
+				}
+				t0 := time.Now()
+				ans, err := c.Submit(context.Background(), q)
+				if err != nil {
+					mu.Lock()
+					st.Failed++
+					mu.Unlock()
+					continue
+				}
+				st.Latency.RecordDuration(time.Since(t0))
+				st.Width.Record(int64(ans.BatchWidth))
+			}
+		}(cl, quota)
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return st
+}

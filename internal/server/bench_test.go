@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	msbfs "repro"
+)
+
+// TestDriveLoadCoalesces runs the in-process load entry point the perf
+// harness benchmarks and checks it actually exercises the batching path.
+func TestDriveLoadCoalesces(t *testing.T) {
+	g := testGraph(t)
+	c := NewCoalescer(g, Config{
+		Workers:       2,
+		FlushDeadline: time.Millisecond,
+		MaxPending:    1 << 12,
+	}, NewMetrics(), nil)
+	defer c.Close()
+
+	st := DriveLoad(c, LoadSpec{Clients: 16, Requests: 160, Seed: 7})
+	if st.Failed != 0 {
+		t.Fatalf("%d/%d requests failed", st.Failed, st.Requests)
+	}
+	if got := st.Latency.Count(); got != 160 {
+		t.Errorf("latency observations = %d, want 160", got)
+	}
+	if w := st.MeanBatchWidth(); w <= 1 {
+		t.Errorf("mean batch width = %.2f, want > 1 (coalescing)", w)
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("elapsed = %v", st.Elapsed)
+	}
+}
+
+// TestDriveLoadDeterministicWorkload pins that the generated query stream
+// is a pure function of the seed (timings aside): same seed, same failure
+// count and observation count, on a width-1 (unbatched) coalescer where
+// execution order cannot change outcomes.
+func TestDriveLoadDeterministicWorkload(t *testing.T) {
+	g := msbfs.GenerateUniform(300, 3, 9)
+	for _, clients := range []int{1, 4} {
+		var counts [2]int64
+		for trial := 0; trial < 2; trial++ {
+			c := NewCoalescer(g, Config{Workers: 1, MaxBatch: 1, MaxPending: 1 << 10}, NewMetrics(), nil)
+			st := DriveLoad(c, LoadSpec{Clients: clients, Requests: 40, Seed: 3})
+			c.Close()
+			if st.Failed != 0 {
+				t.Fatalf("clients=%d trial %d: %d failures", clients, trial, st.Failed)
+			}
+			counts[trial] = st.Latency.Count()
+		}
+		if counts[0] != counts[1] {
+			t.Errorf("clients=%d: observation counts differ across trials: %v", clients, counts)
+		}
+	}
+}

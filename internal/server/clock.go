@@ -1,0 +1,28 @@
+package server
+
+import "time"
+
+// clock abstracts the coalescer's two uses of time — wait/latency stamps
+// and the deadline-flush timer — so tests can drive the 2ms flush path on
+// logical time instead of wall-clock sleeps (see fakeclock_test.go).
+type clock interface {
+	Now() time.Time
+	// AfterFunc schedules f to run in its own goroutine (or synchronously
+	// from an Advance call, for fakes) after d has elapsed.
+	AfterFunc(d time.Duration, f func()) flushTimer
+}
+
+// flushTimer is the cancelable handle AfterFunc returns; Stop has
+// time.Timer.Stop semantics.
+type flushTimer interface {
+	Stop() bool
+}
+
+// realClock is the production clock backed by package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) flushTimer {
+	return time.AfterFunc(d, f)
+}

@@ -156,11 +156,12 @@ type Coalescer struct {
 	cfg   Config
 	met   *Metrics
 	edges func(sources []int) int64 // Graph500 edge accounting; may be nil
+	clk   clock                     // realClock outside tests
 
 	mu       sync.Mutex
 	pending  []*pendingReq
 	timerGen int // invalidates stale flush timers
-	timer    *time.Timer
+	timer    flushTimer
 	closed   bool
 	wg       sync.WaitGroup // in-flight batch executions
 }
@@ -168,7 +169,7 @@ type Coalescer struct {
 // NewCoalescer builds a coalescer over g. met must be non-nil (use
 // NewMetrics); edges may be nil to skip GTEPS accounting.
 func NewCoalescer(g Runner, cfg Config, met *Metrics, edges func([]int) int64) *Coalescer {
-	return &Coalescer{g: g, cfg: cfg.normalize(), met: met, edges: edges}
+	return &Coalescer{g: g, cfg: cfg.normalize(), met: met, edges: edges, clk: realClock{}}
 }
 
 // Config returns the normalized configuration the coalescer runs with.
@@ -221,7 +222,7 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 	if err := c.validate(q); err != nil {
 		return Answer{}, err
 	}
-	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: time.Now()}
+	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: c.clk.Now()}
 
 	c.mu.Lock()
 	if c.closed {
@@ -245,7 +246,7 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 	select {
 	case out := <-p.done:
 		if out.err == nil {
-			c.met.Latency.RecordDuration(time.Since(p.enqueued))
+			c.met.Latency.RecordDuration(c.clk.Now().Sub(p.enqueued))
 		}
 		return out.a, out.err
 	case <-ctx.Done():
@@ -263,7 +264,7 @@ func (c *Coalescer) armTimerLocked() {
 		return // width-1 batches always cut immediately; no deadline needed
 	}
 	gen := c.timerGen
-	c.timer = time.AfterFunc(c.cfg.FlushDeadline, func() {
+	c.timer = c.clk.AfterFunc(c.cfg.FlushDeadline, func() {
 		c.mu.Lock()
 		if gen == c.timerGen && !c.closed && len(c.pending) > 0 {
 			c.cutLocked()
@@ -328,7 +329,7 @@ type slotAcc struct {
 // runBatch executes one multi-source traversal answering every live
 // request in the batch, then demultiplexes the per-slot results.
 func (c *Coalescer) runBatch(batch []*pendingReq) {
-	now := time.Now()
+	now := c.clk.Now()
 	// Drop requests whose caller already gave up; their sources would only
 	// widen the traversal for nobody.
 	live := batch[:0]

@@ -100,15 +100,18 @@ func TestCoalescingEndToEnd(t *testing.T) {
 	}
 }
 
-// TestDeadlineFlush proves the fill-or-flush deadline path: a partial batch
-// is dispatched once the oldest request has waited FlushDeadline.
+// TestDeadlineFlush proves the fill-or-flush deadline path on logical time:
+// a partial batch is dispatched exactly when the oldest request has waited
+// FlushDeadline — not a tick before — with no wall-clock sleeps involved.
 func TestDeadlineFlush(t *testing.T) {
 	cg := &countingGraph{Graph: testGraph(t)}
+	clk := newFakeClock()
 	c := NewCoalescer(cg, Config{
 		Workers:       2,
 		BatchWords:    2, // flush width 128, never reached here
 		FlushDeadline: 5 * time.Millisecond,
 	}, NewMetrics(), nil)
+	c.clk = clk
 	defer c.Close()
 
 	var wg sync.WaitGroup
@@ -120,6 +123,17 @@ func TestDeadlineFlush(t *testing.T) {
 			answers[i], _ = c.Submit(context.Background(), Query{Kind: KindKHop, Source: i, Hops: 2})
 		}(i)
 	}
+	for c.QueueLen() < 3 {
+		time.Sleep(50 * time.Microsecond) // scheduling only, not the deadline
+	}
+
+	// One logical tick short of the deadline: nothing may flush.
+	clk.Advance(c.cfg.FlushDeadline - time.Nanosecond)
+	if b := cg.batches.Load(); b != 0 {
+		t.Fatalf("flushed %d batches before the deadline elapsed", b)
+	}
+	// The final nanosecond fires the flush synchronously inside Advance.
+	clk.Advance(time.Nanosecond)
 	wg.Wait()
 	if b := cg.batches.Load(); b != 1 {
 		t.Errorf("3 sub-width requests ran %d batches, want 1 (deadline flush)", b)
@@ -128,6 +142,84 @@ func TestDeadlineFlush(t *testing.T) {
 		direct := cg.Graph.NeighborhoodSizes([]int{i}, 2, msbfs.Options{})
 		if a.Count != direct[0] {
 			t.Errorf("khop(%d, 2) = %d, direct %d", i, a.Count, direct[0])
+		}
+		if a.Wait != c.cfg.FlushDeadline {
+			t.Errorf("request %d logical wait = %v, want exactly %v", i, a.Wait, c.cfg.FlushDeadline)
+		}
+		if a.BatchWidth != 3 {
+			t.Errorf("request %d batch width = %d, want 3", i, a.BatchWidth)
+		}
+	}
+}
+
+// TestWidthFlushCancelsDeadline proves a full-width cut disarms the pending
+// deadline timer: advancing logical time afterwards must not dispatch a
+// second, empty flush.
+func TestWidthFlushCancelsDeadline(t *testing.T) {
+	cg := &countingGraph{Graph: testGraph(t)}
+	clk := newFakeClock()
+	c := NewCoalescer(cg, Config{
+		Workers:       2,
+		MaxBatch:      4,
+		FlushDeadline: 5 * time.Millisecond,
+	}, NewMetrics(), nil)
+	c.clk = clk
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Submit(context.Background(), Query{Kind: KindCloseness, Source: i}); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if b := cg.batches.Load(); b != 1 {
+		t.Fatalf("4 requests at width 4 ran %d batches, want 1 width flush", b)
+	}
+	clk.Advance(time.Second) // any stale timer would fire here
+	if b := cg.batches.Load(); b != 1 {
+		t.Errorf("stale deadline timer dispatched an extra batch (total %d)", b)
+	}
+	if n := clk.pendingTimers(); n != 0 {
+		t.Errorf("%d flush timers still armed after the width flush", n)
+	}
+}
+
+// TestDeadlineTimerPerBatch proves the deadline re-arms for each new batch:
+// two generations of sub-width traffic flush as two logical-deadline batches.
+func TestDeadlineTimerPerBatch(t *testing.T) {
+	cg := &countingGraph{Graph: testGraph(t)}
+	clk := newFakeClock()
+	c := NewCoalescer(cg, Config{
+		Workers:       1,
+		MaxBatch:      100,
+		FlushDeadline: 2 * time.Millisecond,
+	}, NewMetrics(), nil)
+	c.clk = clk
+	defer c.Close()
+
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := c.Submit(context.Background(), Query{Kind: KindCloseness, Source: i}); err != nil {
+					t.Errorf("round %d request %d: %v", round, i, err)
+				}
+			}(i)
+		}
+		for c.QueueLen() < 2 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		clk.Advance(c.cfg.FlushDeadline)
+		wg.Wait()
+		if b := cg.batches.Load(); b != int64(round+1) {
+			t.Fatalf("after round %d: %d batches, want %d", round, b, round+1)
 		}
 	}
 }

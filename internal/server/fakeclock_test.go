@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// fakeClock is a manually advanced clock. Timers fire synchronously from
+// Advance, in due order, outside the fake's lock — so a flush callback may
+// freely take the coalescer's mutex. It lets the 2ms-deadline tests assert
+// on logical time instead of racing wall-clock sleeps.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	c       *fakeClock
+	when    time.Time
+	f       func()
+	stopped bool
+	fired   bool
+}
+
+func newFakeClock() *fakeClock {
+	// An arbitrary fixed epoch: logical time needs an origin, not a wall.
+	return &fakeClock{now: time.Unix(1_000_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) AfterFunc(d time.Duration, f func()) flushTimer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{c: c, when: c.now.Add(d), f: f}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	active := !t.stopped && !t.fired
+	t.stopped = true
+	return active
+}
+
+// Advance moves logical time forward and fires every timer that comes due,
+// earliest first. Each callback runs to completion before the next fires,
+// and before Advance returns — after Advance, every due flush has happened.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.stopped || t.fired || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.when.After(c.now) {
+			c.now = next.when
+		}
+		next.fired = true
+		c.mu.Unlock()
+		next.f()
+		c.mu.Lock()
+	}
+	c.now = target
+	// Drop spent timers so long tests do not accumulate them.
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.stopped && !t.fired {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	c.mu.Unlock()
+}
+
+// pendingTimers reports the number of armed, unfired flush timers.
+func (c *fakeClock) pendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped && !t.fired {
+			n++
+		}
+	}
+	return n
+}

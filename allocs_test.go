@@ -1,0 +1,90 @@
+//go:build !race
+
+// The steady-state allocation tests pin the engine's reuse contract in
+// numbers: a warmed engine serves repeated traversals from recycled pools
+// and state arenas, so the per-call allocation count is a small constant
+// (result structs and a closure per phase — O(BFS depth)) and the
+// allocated bytes stay far below the size of a single state array. They
+// are excluded from -race builds, where the detector's instrumentation
+// inflates allocation counts.
+
+package msbfs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestMultiBFSWarmEngineAllocs(t *testing.T) {
+	g := GenerateKronecker(12, 8, 1)
+	sources := g.RandomSources(64, 7)
+	eng := NewEngine(Options{Workers: 2})
+	defer eng.Close()
+	opt := Options{Workers: 2, Engine: eng}
+	g.MultiBFS(sources, opt) // warm: first call builds the pool and arena
+
+	warm := testing.AllocsPerRun(10, func() { g.MultiBFS(sources, opt) })
+	// Measured ~13 allocs/op: two result structs, the sources copy, the
+	// iteration recorder, and one closure per parallel phase. The bound
+	// leaves headroom for depth variation but catches any per-vertex or
+	// per-source regression immediately (64 sources would blow straight
+	// past it).
+	if warm > 32 {
+		t.Errorf("warm-engine MultiBFS: %.0f allocs/op, want <= 32", warm)
+	}
+
+	cold := testing.AllocsPerRun(10, func() {
+		e := NewEngine(Options{Workers: 2})
+		o := opt
+		o.Engine = e
+		g.MultiBFS(sources, o)
+		e.Close()
+	})
+	if warm >= cold {
+		t.Errorf("warm engine (%.0f allocs/op) not cheaper than per-call engines (%.0f allocs/op)",
+			warm, cold)
+	}
+}
+
+func TestMultiBFSWarmEngineAllocBytes(t *testing.T) {
+	g := GenerateKronecker(12, 8, 1)
+	sources := g.RandomSources(64, 7)
+	eng := NewEngine(Options{Workers: 2})
+	defer eng.Close()
+	opt := Options{Workers: 2, Engine: eng}
+	g.MultiBFS(sources, opt)
+
+	const reps = 10
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		g.MultiBFS(sources, opt)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / reps
+
+	// One word-wide visited-state array for this graph. A warmed engine
+	// must not rebuild even one of them per call — the whole point of the
+	// arena — so the per-call byte count sits well under it.
+	stateBytes := uint64(g.NumVertices()) * 8
+	if perOp >= stateBytes {
+		t.Errorf("warm-engine MultiBFS allocates %d B/op, want < one state array (%d B): arena not recycling",
+			perOp, stateBytes)
+	}
+}
+
+func TestMultiBFSVisitorWarmEngineAllocs(t *testing.T) {
+	g := GenerateKronecker(12, 8, 1)
+	sources := g.RandomSources(64, 7)
+	eng := NewEngine(Options{Workers: 2})
+	defer eng.Close()
+	opt := Options{Workers: 2, Engine: eng}
+	visit := func(workerID, sourceIdx, vertex, depth int) {}
+	g.MultiBFSVisitor(sources, opt, visit)
+
+	warm := testing.AllocsPerRun(10, func() { g.MultiBFSVisitor(sources, opt, visit) })
+	if warm > 32 {
+		t.Errorf("warm-engine MultiBFSVisitor: %.0f allocs/op, want <= 32", warm)
+	}
+}

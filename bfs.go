@@ -34,6 +34,11 @@ type Options struct {
 	RecordLevels bool
 	// CollectIterStats gathers per-iteration timing and workload detail.
 	CollectIterStats bool
+	// Engine optionally pins the run to a long-lived execution engine
+	// (persistent worker pools + recycled state arenas, see NewEngine).
+	// When nil, the library's shared default engine is used, so repeated
+	// calls avoid pool/state churn either way.
+	Engine *Engine
 }
 
 // Normalize returns a copy of o with out-of-range fields clamped to their
@@ -68,6 +73,7 @@ func (o Options) toCore() core.Options {
 		MaxDepth:         o.MaxDepth,
 		RecordLevels:     o.RecordLevels,
 		CollectIterStats: o.CollectIterStats,
+		Engine:           o.Engine.coreEngine(),
 	}
 	switch {
 	case o.TopDownOnly:

@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "generator seed (0 = default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		csvDir  = flag.String("csv", "", "also write the experiment's raw rows as CSV into this directory")
+		engStat = flag.Bool("enginestats", false, "print the shared engine's pool/arena stats after the run")
 	)
 	flag.Parse()
 
@@ -56,5 +58,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("CSV written to %s\n", *csvDir)
+	}
+	if *engStat {
+		// The experiments run on the library's default engine; the stats
+		// show how much state the arena recycled across the sweeps.
+		st := core.DefaultEngine().Stats()
+		fmt.Printf("engine: %d pooled workers, %d arena objects (%d bytes) free, %d/%d arena hits\n",
+			st.PooledWorkers, st.FreeShells+st.FreeStates+st.FreeBitmaps+st.FreeLevelRows,
+			st.FreeBytes, st.Hits, st.Hits+st.Misses)
 	}
 }

@@ -123,8 +123,12 @@ func run(graphs graphFlags, addr string, cfg server.Config, drainWait time.Durat
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("listener shutdown: %w", err)
 	}
-	<-errc      // reap the listener goroutine (returns ErrServerClosed)
-	srv.Close() // flush queued requests as final batches, wait for batches
+	<-errc // reap the listener goroutine (returns ErrServerClosed)
+	st := reg.EngineStats()
+	srv.Close() // flush queued requests as final batches, wait for batches; releases the engine
+	log.Printf("engine at drain: %d pooled workers, %d arena objects (%d bytes) free, %d/%d arena hits",
+		st.PooledWorkers, st.FreeShells+st.FreeStates+st.FreeBitmaps+st.FreeLevelRows,
+		st.FreeBytes, st.Hits, st.Hits+st.Misses)
 	log.Print("drained cleanly")
 	return nil
 }

@@ -72,10 +72,16 @@ func main() {
 		os.Exit(1)
 	}
 	ec := metrics.NewEdgeCounter(g)
+	// One engine for the whole invocation: repeated runs (and the
+	// per-source loops inside the single-source algorithms) reuse pooled
+	// workers and recycled state instead of rebuilding them per call.
+	eng := core.NewEngine()
+	defer eng.Close()
 	opt := core.Options{
 		Workers:          *workers,
 		BatchWords:       *batchWords,
 		CollectIterStats: *iterstats,
+		Engine:           eng,
 	}
 
 	if *cpuProfile != "" {

@@ -142,7 +142,7 @@ func computeCloseness(g *graph.Graph, vertices []int, workers, batchWords int) [
 // computeBetweenness runs Brandes over the sampled sources in parallel and
 // returns per-vertex scores.
 func computeBetweenness(g *graph.Graph, sources []int, workers int) []float64 {
-	return core.BrandesBetweenness(g, sources, workers)
+	return core.BrandesBetweenness(g, sources, core.Options{Workers: workers})
 }
 
 func printTop(k int, name string, vertices []int, scores []float64, inv []graph.VertexID) {

@@ -23,7 +23,6 @@ import (
 	"repro/internal/gen"
 	"repro/internal/label"
 	"repro/internal/metrics"
-	"repro/internal/sched"
 )
 
 func main() {
@@ -49,9 +48,11 @@ func main() {
 
 	ec := metrics.NewEdgeCounter(g)
 	keys := core.RandomSources(g, *roots, *seed+1)
-	pool := sched.NewPool(*workers, false)
-	defer pool.Close()
-	opt := core.Options{Workers: *workers, Pool: pool, RecordLevels: true}
+	eng := core.NewEngine()
+	defer eng.Close()
+	pool, release := eng.BorrowPool(*workers)
+	defer release()
+	opt := core.Options{Workers: *workers, Pool: pool, Engine: eng, RecordLevels: true}
 
 	teps := make([]float64, 0, len(keys))
 	validated := 0
@@ -71,6 +72,7 @@ func main() {
 				}
 				validated++
 			}
+			eng.ReleaseLevels(res.Levels)
 		}
 	case "mspbfs":
 		start := time.Now()

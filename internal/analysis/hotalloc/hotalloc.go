@@ -20,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -27,8 +28,9 @@ import (
 // Analyzer flags allocation sites inside //bfs:hot loops.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc: "flags make/new/append calls, slice/map composite literals and closures inside loops " +
-		"annotated //bfs:hot; suppress a justified site with //bfs:alloc-ok",
+	Doc: "flags make/new/append calls, New*/Create* constructor calls, slice/map composite " +
+		"literals and closures inside loops annotated //bfs:hot; methods on an execution Engine " +
+		"(the arena borrow/return path) are exempt; suppress a justified site with //bfs:alloc-ok",
 	Run: run,
 }
 
@@ -64,6 +66,9 @@ func checkHotBody(pass *analysis.Pass, ann *analysis.Annotations, body *ast.Bloc
 		case *ast.CallExpr:
 			if name := builtinAllocName(pass, n); name != "" {
 				report(pass, ann, n.Pos(), "call to %s allocates inside a //bfs:hot loop", name)
+			} else if name := constructorCallName(pass, n); name != "" {
+				report(pass, ann, n.Pos(),
+					"call to constructor %s allocates inside a //bfs:hot loop; borrow from the engine arena or hoist it out", name)
 			}
 		case *ast.CompositeLit:
 			tv, ok := pass.TypesInfo.Types[n]
@@ -100,6 +105,43 @@ func builtinAllocName(pass *analysis.Pass, call *ast.CallExpr) string {
 		return id.Name
 	}
 	return ""
+}
+
+// constructorCallName returns the callee name if call invokes a
+// constructor-style function or method (New*/Create* prefix, the
+// repository's naming convention for allocating builders: sched.NewPool,
+// bitset.NewState, sched.CreateTasks, ...), or "". Methods on a named type
+// Engine are exempt: the engine's borrow/checkout surface is the sanctioned
+// arena-recycled (steady-state allocation-free) way to obtain state inside
+// a hot region.
+func constructorCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && isEngineRecv(sel) {
+			return ""
+		}
+	default:
+		return ""
+	}
+	if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Create") {
+		return name
+	}
+	return ""
+}
+
+// isEngineRecv reports whether sel is a method selection on a named type
+// Engine (or *Engine), in any package.
+func isEngineRecv(sel *types.Selection) bool {
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
 }
 
 // report emits a diagnostic unless the site is suppressed with

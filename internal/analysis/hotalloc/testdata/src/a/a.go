@@ -41,6 +41,34 @@ func coldLoop(n int) {
 	}
 }
 
+// Engine mimics the core execution engine: its methods are the arena
+// borrow/return path and must stay quiet inside hot loops, even when they
+// are named like constructors.
+type Engine struct{}
+
+func (e *Engine) NewBatchView() []int32       { return nil }
+func (e *Engine) borrowState(n int) []int     { return nil }
+func NewScratch(n int) []uint64               { return nil }
+func createBuffers(n int) ([]int, []int)      { return nil, nil }
+func CreateTaskList(n, split int) []int       { return nil }
+func (e *Engine) ReleaseLevels(rs ...[]int32) {}
+
+func hotConstructors(n int, e *Engine) {
+	//bfs:hot
+	for i := 0; i < n; i++ {
+		s := NewScratch(i) // want `call to constructor NewScratch allocates inside a //bfs:hot loop`
+		_ = s
+		tl := CreateTaskList(n, 64) // want `call to constructor CreateTaskList allocates inside a //bfs:hot loop`
+		_ = tl
+		b1, b2 := createBuffers(i) // lower-case: not the constructor convention, quiet
+		_, _ = b1, b2
+		st := e.borrowState(i) // arena borrow: quiet
+		_ = st
+		row := e.NewBatchView() // Engine method: exempt even with a New prefix
+		e.ReleaseLevels(row)
+	}
+}
+
 func justified(n int) []int {
 	var out []int
 	//bfs:hot

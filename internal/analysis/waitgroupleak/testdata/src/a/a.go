@@ -56,6 +56,48 @@ func (p *pool) start() {
 
 func (p *pool) loop() { p.wg.Done() }
 
+// Pool and Engine mimic the sched/core execution substrates: goroutines
+// they launch or that hand control to them are supervised (the substrate's
+// Close joins its workers), so these launches must stay quiet.
+type Pool struct{}
+
+func (p *Pool) worker(id int) {}
+func (p *Pool) Run(f func())  {}
+
+type Engine struct{}
+
+func (e *Engine) serve() {}
+
+// poolWorkers launches named workers on the pool: the completion contract
+// (phase WaitGroup + Close join) lives in the receiver.
+func poolWorkers(p *Pool, n int) {
+	for id := 0; id < n; id++ {
+		go p.worker(id)
+	}
+}
+
+// engineWorker launches a named method on the engine; same contract.
+func engineWorker(e *Engine) {
+	go e.serve()
+}
+
+// supervisedClosure hands the closure body to the pool: the Run call
+// reaches the substrate's internal phase barrier.
+func supervisedClosure(p *Pool) {
+	go func() {
+		p.Run(func() {})
+	}()
+}
+
+// unsupervised is a plain struct; method launches on it are still leaks.
+type unsupervised struct{}
+
+func (u *unsupervised) spin() {}
+
+func launchUnsupervised(u *unsupervised) {
+	go u.spin() // want `goroutine launched without a completion signal`
+}
+
 // detachedDoc runs for the life of the process.
 //
 //bfs:detached background telemetry flusher, exits with the process

@@ -13,6 +13,11 @@
 //     `wg.Add(1); go func(){ defer wg.Done(); ... }` idiom, which also covers
 //     launches of named methods whose Done lives in the callee, as in
 //     sched.NewPool);
+//   - the goroutine is supervised by the execution substrate: the launch is
+//     a method on a Pool or Engine (`go p.worker(...)` — the pool's Close
+//     joins its workers), or the body hands control to one (a Pool/Engine
+//     method call inside the closure reaches the phase-completion WaitGroup
+//     in the callee);
 //   - the launch is annotated //bfs:detached with a justification.
 //
 // Anything else is reported as a probable goroutine leak.
@@ -29,8 +34,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "waitgroupleak",
 	Doc: "flags `go` statements not paired with a sync.WaitGroup or other completion signal " +
-		"(Done()/channel send/close in the body, or WaitGroup.Add in the launching function); " +
-		"annotate intentional fire-and-forget goroutines //bfs:detached",
+		"(Done()/channel send/close in the body, WaitGroup.Add in the launching function, or " +
+		"supervision by a worker Pool/Engine); annotate intentional fire-and-forget goroutines " +
+		"//bfs:detached",
 	Run: run,
 }
 
@@ -67,6 +73,12 @@ func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, fn *ast.FuncDecl)
 		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && bodySignalsCompletion(pass, lit.Body) {
 			return true
 		}
+		// `go p.worker(...)` on a Pool or Engine: the substrate owns the
+		// goroutine's lifetime (the pool's Close joins its workers), so the
+		// completion contract lives in the receiver, not at the launch site.
+		if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok && isPoolOrEngineRecv(pass, sel) {
+			return true
+		}
 		pass.Reportf(g.Pos(),
 			"goroutine launched without a completion signal (no WaitGroup Add/Done, channel send, or close); "+
 				"pair it with a WaitGroup or annotate //bfs:detached")
@@ -96,8 +108,9 @@ func containsWaitGroupAdd(pass *analysis.Pass, body *ast.BlockStmt) bool {
 }
 
 // bodySignalsCompletion reports whether a goroutine body contains a call to
-// a method named Done (WaitGroup or pool-managed completion), a channel
-// send, or a close() call.
+// a method named Done (WaitGroup or pool-managed completion), a method on a
+// Pool or Engine (the substrate's phase barrier sits in the callee), a
+// channel send, or a close() call.
 func bodySignalsCompletion(pass *analysis.Pass, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -110,7 +123,7 @@ func bodySignalsCompletion(pass *analysis.Pass, body *ast.BlockStmt) bool {
 		case *ast.CallExpr:
 			switch fun := n.Fun.(type) {
 			case *ast.SelectorExpr:
-				if fun.Sel.Name == "Done" {
+				if fun.Sel.Name == "Done" || isPoolOrEngineRecv(pass, fun) {
 					found = true
 				}
 			case *ast.Ident:
@@ -124,6 +137,29 @@ func bodySignalsCompletion(pass *analysis.Pass, body *ast.BlockStmt) bool {
 		return !found
 	})
 	return found
+}
+
+// isPoolOrEngineRecv reports whether sel is a method selection on a named
+// type Pool or Engine (value or pointer receiver), in any package. These are
+// the repository's supervised execution substrates: a Pool joins its workers
+// in Close and runs phases behind an internal WaitGroup, and an Engine owns
+// pools the same way, so goroutines handed to either are joinable by
+// construction.
+func isPoolOrEngineRecv(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Pool" || name == "Engine"
 }
 
 // isWaitGroupRecv reports whether sel's receiver is sync.WaitGroup or

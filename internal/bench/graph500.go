@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/sched"
 )
 
 // Graph500Result is the outcome of the industry-standard benchmark flow the
@@ -33,11 +32,14 @@ func Graph500(cfg Config) (Graph500Result, error) {
 	ec := metrics.NewEdgeCounter(g)
 	keys := core.RandomSources(g, 64, cfg.seed()+61)
 
-	pool := sched.NewPool(workers, false)
-	defer pool.Close()
+	eng := core.NewEngine()
+	defer eng.Close()
+	pool, release := eng.BorrowPool(workers)
+	defer release()
 	e := core.NewSMSPBFSEngine(g, core.BitState, core.Options{
-		Workers: workers, Pool: pool, RecordLevels: true,
+		Workers: workers, Pool: pool, Engine: eng, RecordLevels: true,
 	})
+	defer e.Close()
 
 	res := Graph500Result{Scale: scale, Searches: len(keys)}
 	teps := make([]float64, 0, len(keys))
@@ -49,6 +51,7 @@ func Graph500(cfg Config) (Graph500Result, error) {
 			return res, fmt.Errorf("search from %d failed validation: %w", key, err)
 		}
 		res.Validated++
+		eng.ReleaseLevels(r.Levels)
 	}
 
 	sort.Float64s(teps)

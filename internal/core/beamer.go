@@ -46,9 +46,11 @@ func (v BeamerVariant) String() string {
 // honored; the algorithm is single-threaded by definition (Section 5.2).
 func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Result {
 	n := g.NumVertices()
+	eng := opt.engine()
 	var levels []int32
 	if opt.RecordLevels {
-		levels = make([]int32, n)
+		// NoLevel fill doubles as the level row's arena scrub.
+		levels = eng.borrowLevels(n)
 		for i := range levels {
 			levels[i] = NoLevel
 		}
@@ -58,9 +60,14 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 	// Total degree sum for the alpha heuristic.
 	edgesTotal := int64(len(g.Adjacency))
 
-	seen := bitset.NewBitmap(n)
-	front := bitset.NewBitmap(n) // dense frontier (bottom-up and dense variant)
-	next := bitset.NewBitmap(n)
+	seen := eng.borrowBitmap(n)
+	front := eng.borrowBitmap(n) // dense frontier (bottom-up and dense variant)
+	next := eng.borrowBitmap(n)
+	defer func() {
+		eng.returnBitmap(seen)
+		eng.returnBitmap(front)
+		eng.returnBitmap(next)
+	}()
 	var queue, nextQueue []graph.VertexID // sparse frontier
 
 	start := time.Now()

@@ -1,49 +1,51 @@
 package core
 
 import (
-	"sync"
-
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // BrandesBetweenness computes betweenness centrality with Brandes'
 // algorithm over the given sources (all vertices for exact values, a random
 // sample for the standard approximation). Sources are processed in parallel
-// — one BFS with shortest-path counting per source, the classic
-// embarrassingly parallel formulation. For undirected graphs each pair is
+// on the engine's pooled workers — one BFS with shortest-path counting per
+// source, the classic embarrassingly parallel formulation; only Workers,
+// Pool and Engine of opt are honored. For undirected graphs each pair is
 // counted from both endpoints when all vertices are sources, so the result
 // is halved, following Brandes' convention.
-func BrandesBetweenness(g *graph.Graph, sources []int, workers int) []float64 {
+func BrandesBetweenness(g *graph.Graph, sources []int, opt Options) []float64 {
 	n := g.NumVertices()
-	if workers < 1 {
-		workers = 1
+	workers := opt.workers()
+	if len(sources) == 0 {
+		return make([]float64, n)
 	}
-	partial := make([][]float64, workers)
-	for w := range partial {
-		partial[w] = make([]float64, n)
+	eng := opt.engine()
+	pool, borrowed := opt.resolvePool(eng)
+	if borrowed {
+		defer eng.returnPool(pool)
 	}
 
-	srcCh := make(chan int)
-	var wg sync.WaitGroup
+	partial := make([][]float64, workers)
+	sigma := make([][]float64, workers)
+	dist := make([][]int32, workers)
+	delta := make([][]float64, workers)
+	order := make([][]graph.VertexID, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Per-worker scratch reused across sources.
-			sigma := make([]float64, n)
-			dist := make([]int32, n)
-			delta := make([]float64, n)
-			order := make([]graph.VertexID, 0, n)
-			for s := range srcCh {
-				brandesSource(g, s, sigma, dist, delta, order[:0], partial[w])
-			}
-		}(w)
+		partial[w] = make([]float64, n)
+		sigma[w] = make([]float64, n)
+		dist[w] = make([]int32, n)
+		delta[w] = make([]float64, n)
+		order[w] = make([]graph.VertexID, 0, n)
 	}
-	for _, s := range sources {
-		srcCh <- s
-	}
-	close(srcCh)
-	wg.Wait()
+
+	// One source per task: source costs vary wildly (component sizes), so
+	// the pool's stealing does the load balancing the old channel feed did.
+	tq := sched.CreateTasks(len(sources), 1, workers)
+	pool.ParallelFor(tq, func(w int, r sched.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			brandesSource(g, sources[i], sigma[w], dist[w], delta[w], order[w][:0], partial[w])
+		}
+	})
 
 	out := make([]float64, n)
 	for w := range partial {

@@ -97,9 +97,17 @@ type Options struct {
 	// the ablation benchmarks.
 	DisableEarlyExit bool
 	// Pool optionally supplies a pre-started worker pool to reuse across
-	// runs; it must have exactly Workers workers. When nil, a pool is
-	// created and torn down inside the call.
+	// runs; it must have exactly Workers workers. When nil, the run
+	// borrows a pooled worker set from Engine (or the package default
+	// engine) and returns it when done.
 	Pool *sched.Pool
+	// Engine optionally supplies the long-lived execution substrate —
+	// persistent worker pools plus the arena recycling states, bitmaps,
+	// kernel scratch and level rows. When nil, the shared package-default
+	// engine is used, so repeated calls are allocation-churn free either
+	// way; wire an explicit engine to isolate a subsystem's recycling (one
+	// engine per daemon, per test, per benchmark).
+	Engine *Engine
 	// Topology optionally enables the NUMA placement model; when non-zero
 	// the run records modeled page locality into NUMAStats.
 	Topology numa.Topology
@@ -157,16 +165,42 @@ func (o Options) beta() float64 {
 
 func (o Options) collectStats() bool { return o.CollectIterStats || o.PerWorkerTiming }
 
-// acquirePool returns the pool to run on and whether the caller owns (and
-// must close) it.
-func (o Options) acquirePool() (pool *sched.Pool, owned bool) {
+// engine resolves the run's execution substrate: the explicitly wired
+// engine, or the shared package default.
+func (o Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return DefaultEngine()
+}
+
+// resolvePool returns the pool to run on and whether it was borrowed from
+// eng (and must be handed back when the run finishes).
+func (o Options) resolvePool(eng *Engine) (pool *sched.Pool, borrowed bool) {
 	if o.Pool != nil {
 		if o.Pool.Workers() != o.workers() {
 			panic("core: supplied pool size does not match Options.Workers")
 		}
 		return o.Pool, false
 	}
-	return sched.NewPool(o.workers(), false), true
+	return eng.borrowPool(o.workers()), true
+}
+
+// fillMask writes the k-sources-active mask (lowest k bits set) into mask
+// and returns it; the reusable-buffer replacement for State.FullMask on
+// the zero-allocation run path.
+func fillMask(mask []uint64, k int) []uint64 {
+	for i := range mask {
+		switch {
+		case k >= 64*(i+1):
+			mask[i] = ^uint64(0) //bfs:singlewriter mask built on the coordinating goroutine before the batch starts
+		case k <= 64*i:
+			mask[i] = 0 //bfs:singlewriter mask built on the coordinating goroutine before the batch starts
+		default:
+			mask[i] = uint64(1)<<uint(k-64*i) - 1 //bfs:singlewriter mask built on the coordinating goroutine before the batch starts
+		}
+	}
+	return mask
 }
 
 // Result is the outcome of a single-source BFS.
@@ -244,9 +278,13 @@ type iterRecorder struct {
 	stats []metrics.IterationStat
 }
 
+// record appends one iteration's stats. The per-worker counters come in
+// as the raw padded arrays so the (allocating) []int64 snapshots are only
+// taken when stat collection is actually on — the kernels call record on
+// every iteration, stats or not.
 func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
 	frontier, updated, scanned int64, bottomUp bool,
-	scannedPW, updatedPW []int64) {
+	scannedC, updatedC []padCounter) {
 	if !r.opt.collectStats() {
 		return
 	}
@@ -260,8 +298,8 @@ func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
 	}
 	if r.opt.PerWorkerTiming {
 		st.WorkerBusy = busy
-		st.ScannedPerWorker = scannedPW
-		st.UpdatedPerWorker = updatedPW
+		st.ScannedPerWorker = counterValues(scannedC)
+		st.UpdatedPerWorker = counterValues(updatedC)
 	}
 	r.stats = append(r.stats, st)
 }

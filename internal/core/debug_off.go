@@ -26,6 +26,10 @@ func debugCheckSetIteration(seen, next vertexSet, n int, prevSeen, updated int64
 	return 0
 }
 
+// debugCheckBorrowedClean is a no-op stub; the bfsdebug build asserts the
+// engine arena's scrub-on-borrow contract.
+func debugCheckBorrowedClean(kind string, population int) {}
+
 // debugCheckLevels is a no-op stub; the bfsdebug build compares a recorded
 // level array against the sequential reference BFS.
 func debugCheckLevels(g *graph.Graph, source int, levels []int32, algo string) {}

@@ -76,6 +76,17 @@ func debugCheckSetIteration(seen, next vertexSet, n int, prevSeen, updated int64
 	return seenCount
 }
 
+// debugCheckBorrowedClean asserts the arena's scrub-on-borrow contract: an
+// artifact handed out by the Engine must carry zero set bits, no matter how
+// dirty (or deliberately poisoned) it was when returned. population is the
+// artifact's post-scrub set-bit count.
+func debugCheckBorrowedClean(kind string, population int) {
+	if population != 0 {
+		panic(fmt.Sprintf("bfsdebug: engine handed out a dirty %s (%d set bits survived the scrub): arena hygiene violated",
+			kind, population))
+	}
+}
+
 // debugCheckLevels compares a recorded level array against the sequential
 // reference BFS from the same source.
 func debugCheckLevels(g *graph.Graph, source int, levels []int32, algo string) {

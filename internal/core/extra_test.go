@@ -106,7 +106,7 @@ func TestDeriveParentsLengthMismatchPanics(t *testing.T) {
 func TestBrandesCoreStarExact(t *testing.T) {
 	// Star: the center lies on every leaf pair's shortest path.
 	g := starGraph(6)
-	scores := BrandesBetweenness(g, []int{0, 1, 2, 3, 4, 5}, 2)
+	scores := BrandesBetweenness(g, []int{0, 1, 2, 3, 4, 5}, Options{Workers: 2})
 	want := float64(5 * 4 / 2) // C(5,2) pairs of leaves
 	if scores[0] != want {
 		t.Errorf("center betweenness %v, want %v", scores[0], want)

@@ -34,22 +34,29 @@ func IBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 		res.Levels = make([][]int32, len(sources))
 	}
 
-	seen := bitset.NewState(n, words)
-	frontierBits := bitset.NewState(n, words)
-	nextBits := bitset.NewState(n, words)
-	inJFQ := bitset.NewBitmap(n) // dedupe for JFQ insertion
+	eng := opt.engine()
+	seen := eng.borrowState(n, words)
+	frontierBits := eng.borrowState(n, words)
+	nextBits := eng.borrowState(n, words)
+	inJFQ := eng.borrowBitmap(n) // dedupe for JFQ insertion
+	defer func() {
+		eng.returnState(seen)
+		eng.returnState(frontierBits)
+		eng.returnState(nextBits)
+		eng.returnBitmap(inJFQ)
+	}()
 
 	for off := 0; off < len(sources); off += perBatch {
 		hi := off + perBatch
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		ibfsBatch(g, sources[off:hi], off, opt, workers, seen, frontierBits, nextBits, inJFQ, res)
+		ibfsBatch(g, sources[off:hi], off, opt, eng, workers, seen, frontierBits, nextBits, inJFQ, res)
 	}
 	return res
 }
 
-func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, workers int,
+func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *Engine, workers int,
 	seen, frontierBits, nextBits *bitset.State, inJFQ *bitset.Bitmap, res *MultiResult) {
 	n := g.NumVertices()
 	k := len(batch)
@@ -61,7 +68,8 @@ func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, worker
 	if opt.RecordLevels {
 		levels = make([][]int32, k)
 		for i := range levels {
-			levels[i] = make([]int32, n)
+			// NoLevel fill doubles as the level rows' arena scrub.
+			levels[i] = eng.borrowLevels(n)
 			for v := range levels[i] {
 				levels[i][v] = NoLevel
 			}

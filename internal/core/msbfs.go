@@ -26,16 +26,22 @@ func MSBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 		res.Levels = make([][]int32, len(sources))
 	}
 
-	seen := bitset.NewState(n, words)
-	frontier := bitset.NewState(n, words)
-	next := bitset.NewState(n, words)
+	eng := opt.engine()
+	seen := eng.borrowState(n, words)
+	frontier := eng.borrowState(n, words)
+	next := eng.borrowState(n, words)
+	defer func() {
+		eng.returnState(seen)
+		eng.returnState(frontier)
+		eng.returnState(next)
+	}()
 
 	for off := 0; off < len(sources); off += perBatch {
 		hi := off + perBatch
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		msbfsBatch(g, sources[off:hi], off, opt, seen, frontier, next, res)
+		msbfsBatch(g, sources[off:hi], off, opt, eng, seen, frontier, next, res)
 	}
 	return res
 }
@@ -44,7 +50,7 @@ func MSBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 // across batches; they are fully re-zeroed at batch start.
 //
 //bfs:singlewriter MS-BFS is the sequential baseline of Then et al.; one goroutine owns all state
-func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options,
+func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *Engine,
 	seen, frontier, next *bitset.State, res *MultiResult) {
 	n := g.NumVertices()
 	k := len(batch)
@@ -56,7 +62,8 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options,
 	if opt.RecordLevels {
 		levels = make([][]int32, k)
 		for i := range levels {
-			levels[i] = make([]int32, n)
+			// NoLevel fill doubles as the level rows' arena scrub.
+			levels[i] = eng.borrowLevels(n)
 			for v := range levels[i] {
 				levels[i][v] = NoLevel
 			}
@@ -339,21 +346,30 @@ func MSBFSPerCore(g *graph.Graph, sources []int, opt Options) *MultiResult {
 	instOpt.Workers = 1
 	instOpt.Pool = nil
 
+	eng := opt.engine()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			n := g.NumVertices()
-			seen := bitset.NewState(n, words)
-			frontier := bitset.NewState(n, words)
-			next := bitset.NewState(n, words)
+			// Each instance borrows its own state triple — the arena still
+			// pays the Figure 3 memory blow-up while a run is live, but
+			// back-to-back runs stop re-allocating it.
+			seen := eng.borrowState(n, words)
+			frontier := eng.borrowState(n, words)
+			next := eng.borrowState(n, words)
+			defer func() {
+				eng.returnState(seen)
+				eng.returnState(frontier)
+				eng.returnState(next)
+			}()
 			local := &MultiResult{}
 			if opt.RecordLevels {
 				local.Levels = make([][]int32, len(sources))
 			}
 			for j := range jobCh {
 				t0 := time.Now()
-				msbfsBatch(g, j.batch, j.offset, instOpt, seen, frontier, next, local)
+				msbfsBatch(g, j.batch, j.offset, instOpt, eng, seen, frontier, next, local)
 				busy[w] += time.Since(t0)
 			}
 			results[w] = local

@@ -31,14 +31,27 @@ type MSPBFSEngine struct {
 	g   *graph.Graph
 	opt Options
 
-	pool     *sched.Pool
-	ownsPool bool
-	tq       *sched.TaskQueues
+	pool *sched.Pool
+	tq   *sched.TaskQueues
+
+	// Arena bookkeeping: the engine the instance borrows from, whether the
+	// pool must be handed back on Close, and whether the whole shell
+	// (states + counters + scratch) checks back into the arena keyed by
+	// its run shape. NUMA-modeled instances are never recycled — their
+	// page map and steal order are bound to one topology.
+	eng          *Engine
+	poolBorrowed bool
+	recycle      bool
+	key          msKey
+	released     bool
 
 	seen  *bitset.State
 	buf0  *bitset.State // frontier/next double buffer
 	buf1  *bitset.State
 	words int
+	// mask is the reusable active-mask buffer (the per-batch replacement
+	// for State.FullMask, which allocates).
+	mask []uint64
 
 	// Per-worker accumulators (cache-line padded).
 	scanned   []padCounter // neighbor entries examined
@@ -62,8 +75,9 @@ type MSPBFSEngine struct {
 	tracker *numa.Tracker
 }
 
-// NewMSPBFSEngine prepares an engine. Close must be called to release the
-// worker pool unless one was supplied via Options.Pool.
+// NewMSPBFSEngine prepares an instance. Close must be called to hand the
+// worker pool and the state arrays back to the engine's arena (pools
+// supplied via Options.Pool stay with the caller).
 func NewMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 	return newMSPBFSEngine(g, opt)
 }
@@ -71,33 +85,47 @@ func NewMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 	n := g.NumVertices()
 	words := opt.batchWords()
-	pool, owns := opt.acquirePool()
+	eng := opt.engine()
+	pool, borrowed := opt.resolvePool(eng)
 	workers := pool.Workers()
+	key := msKey{n: n, words: words, split: opt.splitSize(), workers: workers}
+	recycle := opt.Topology.Sockets == 0
 
-	e := &MSPBFSEngine{
-		g:         g,
-		opt:       opt,
-		pool:      pool,
-		ownsPool:  owns,
-		tq:        sched.CreateTasks(n, opt.splitSize(), workers),
-		seen:      bitset.NewState(n, words),
-		buf0:      bitset.NewState(n, words),
-		buf1:      bitset.NewState(n, words),
-		words:     words,
-		scanned:   make([]padCounter, workers),
-		updated:   make([]padCounter, workers),
-		frontVtx:  make([]padCounter, workers),
-		frontDeg:  make([]padCounter, workers),
-		unseenDeg: make([]padCounter, workers),
-		scratch:   make([][]uint64, workers),
-		liveBits:  make([][]uint64, workers),
+	var e *MSPBFSEngine
+	if recycle {
+		e = eng.checkoutMS(key)
 	}
-	for w := range e.scratch {
-		e.scratch[w] = make([]uint64, words)
-		// Pad each row to a cache line so per-worker OR accumulation does
-		// not false-share.
-		e.liveBits[w] = make([]uint64, words, words+8)
+	if e != nil {
+		// Warm shell: every array already has the right shape; just
+		// re-bind the run-specific references.
+		e.g, e.opt, e.pool = g, opt, pool
+	} else {
+		e = &MSPBFSEngine{
+			g:         g,
+			opt:       opt,
+			pool:      pool,
+			tq:        sched.CreateTasks(n, opt.splitSize(), workers),
+			seen:      bitset.NewState(n, words),
+			buf0:      bitset.NewState(n, words),
+			buf1:      bitset.NewState(n, words),
+			words:     words,
+			mask:      make([]uint64, words),
+			scanned:   make([]padCounter, workers),
+			updated:   make([]padCounter, workers),
+			frontVtx:  make([]padCounter, workers),
+			frontDeg:  make([]padCounter, workers),
+			unseenDeg: make([]padCounter, workers),
+			scratch:   make([][]uint64, workers),
+			liveBits:  make([][]uint64, workers),
+		}
+		for w := range e.scratch {
+			e.scratch[w] = make([]uint64, words)
+			// Pad each row to a cache line so per-worker OR accumulation does
+			// not false-share.
+			e.liveBits[w] = make([]uint64, words, words+8)
+		}
 	}
+	e.eng, e.poolBorrowed, e.recycle, e.key, e.released = eng, borrowed, recycle, key, false
 
 	if opt.Topology.Sockets > 0 {
 		// Model the paper's deterministic page placement: the BFS arrays
@@ -116,20 +144,37 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 	}
 
 	// Parallel first-touch initialization without stealing so the modeled
-	// placement matches which worker actually zeroes each range.
+	// placement matches which worker actually zeroes each range. For a
+	// recycled shell this pass doubles as the arena scrub: no bits survive
+	// from the previous run, however it ended.
 	e.tq.Reset()
 	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
 		e.seen.ZeroRange(r.Lo, r.Hi)
 		e.buf0.ZeroRange(r.Lo, r.Hi)
 		e.buf1.ZeroRange(r.Lo, r.Hi)
 	})
+	if debugInvariants {
+		debugCheckBorrowedClean("MS-PBFS shell",
+			e.seen.CountAll()+e.buf0.CountAll()+e.buf1.CountAll())
+	}
 	return e
 }
 
-// Close releases the engine's worker pool if the engine owns it.
+// Close hands the instance back to its engine: the worker pool returns to
+// the pool cache (unless supplied by the caller) and the shell — states,
+// counters, scratch — checks into the arena for the next same-shape run.
+// Close is idempotent; the instance must not be used afterwards.
 func (e *MSPBFSEngine) Close() {
-	if e.ownsPool {
-		e.pool.Close()
+	if e.released {
+		return
+	}
+	e.released = true
+	eng, pool := e.eng, e.pool
+	if e.poolBorrowed {
+		eng.returnPool(pool)
+	}
+	if e.recycle {
+		eng.checkinMS(e)
 	}
 }
 
@@ -163,9 +208,11 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 	rec := &iterRecorder{opt: opt}
 	var levels [][]int32
 	if opt.RecordLevels {
-		levels = make([][]int32, k)
+		levels = make([][]int32, k) //bfs:alloc-ok k pointers per batch, not per vertex
 		for i := range levels {
-			levels[i] = make([]int32, n)
+			// The NoLevel fill is the level rows' arena scrub: every entry
+			// is overwritten before the row can be read.
+			levels[i] = e.eng.borrowLevels(n)
 			for v := range levels[i] {
 				levels[i][v] = NoLevel
 			}
@@ -184,10 +231,19 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 	})
 
 	frontier, next := e.buf0, e.buf1
-	activeMask := e.seen.FullMask(k)
+	activeMask := fillMask(e.mask, k)
 
+	// Seed the batch, simultaneously accumulating the heuristic state
+	// (aggregate over the batch, GAPBS-style): a source not yet seen by any
+	// earlier index is a distinct frontier vertex.
 	var visited int64
+	frontVertices := int64(0)
+	frontEdges := int64(0)
 	for i, s := range batch {
+		if !e.seen.Any(s) {
+			frontVertices++
+			frontEdges += int64(g.Degree(s))
+		}
 		e.seen.Set(s, i)
 		frontier.Set(s, i)
 		visited++
@@ -205,17 +261,6 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		dbgSeen = int64(e.seen.CountAll())
 	}
 
-	// Heuristic state (aggregate over the batch, GAPBS-style).
-	frontVertices := int64(0)
-	frontEdges := int64(0)
-	distinct := make(map[int]bool, k)
-	for _, s := range batch {
-		if !distinct[s] {
-			distinct[s] = true
-			frontVertices++
-			frontEdges += int64(g.Degree(s))
-		}
-	}
 	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
 
 	bottomUp := opt.Direction == BottomUpOnly
@@ -279,7 +324,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 
 		rec.record(int(depth), time.Since(iterStart), busy,
 			frontVertices, updated, sumCounters(e.scanned), bottomUp,
-			counterValues(e.scanned), counterValues(e.updated))
+			e.scanned, e.updated)
 
 		frontier, next = next, frontier
 	}

@@ -24,18 +24,25 @@ func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 	n := g.NumVertices()
 	workers := opt.workers()
 	rec := &iterRecorder{opt: opt}
+	eng := opt.engine()
 	var levels []int32
 	if opt.RecordLevels {
-		levels = make([]int32, n)
+		// NoLevel fill doubles as the level row's arena scrub.
+		levels = eng.borrowLevels(n)
 		for i := range levels {
 			levels[i] = NoLevel
 		}
 	}
 
 	start := time.Now()
-	seen := bitset.NewBitmap(n)
-	dense := bitset.NewBitmap(n) // frontier bitmap for bottom-up
-	denseNext := bitset.NewBitmap(n)
+	seen := eng.borrowBitmap(n)
+	dense := eng.borrowBitmap(n) // frontier bitmap for bottom-up
+	denseNext := eng.borrowBitmap(n)
+	defer func() {
+		eng.returnBitmap(seen)
+		eng.returnBitmap(dense)
+		eng.returnBitmap(denseNext)
+	}()
 
 	queue := make([]graph.VertexID, 0, 1024)
 	localNext := make([][]graph.VertexID, workers)

@@ -89,9 +89,15 @@ type SMSPBFSEngine struct {
 	opt  Options
 	repr StateRepr
 
-	pool     *sched.Pool
-	ownsPool bool
-	tq       *sched.TaskQueues
+	pool *sched.Pool
+	tq   *sched.TaskQueues
+
+	// Arena bookkeeping; see the matching MSPBFSEngine fields.
+	eng          *Engine
+	poolBorrowed bool
+	recycle      bool
+	key          smsKey
+	released     bool
 
 	seen vertexSet
 	buf0 vertexSet
@@ -105,26 +111,39 @@ type SMSPBFSEngine struct {
 	tracker *numa.Tracker
 }
 
-// NewSMSPBFSEngine prepares an engine; Close releases the pool unless one
-// was supplied via Options.Pool.
+// NewSMSPBFSEngine prepares an instance; Close hands the pool and the
+// state arrays back to the engine's arena (pools supplied via Options.Pool
+// stay with the caller).
 func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngine {
 	n := g.NumVertices()
-	pool, owns := opt.acquirePool()
+	eng := opt.engine()
+	pool, borrowed := opt.resolvePool(eng)
 	workers := pool.Workers()
-	e := &SMSPBFSEngine{
-		g:        g,
-		opt:      opt,
-		repr:     repr,
-		pool:     pool,
-		ownsPool: owns,
-		tq:       sched.CreateTasks(n, opt.splitSize(), workers),
-		seen:     newVertexSet(n, repr),
-		buf0:     newVertexSet(n, repr),
-		buf1:     newVertexSet(n, repr),
-		scanned:  make([]padCounter, workers),
-		updated:  make([]padCounter, workers),
-		frontDeg: make([]padCounter, workers),
+	key := smsKey{n: n, split: opt.splitSize(), workers: workers, repr: repr}
+	recycle := opt.Topology.Sockets == 0
+
+	var e *SMSPBFSEngine
+	if recycle {
+		e = eng.checkoutSMS(key)
 	}
+	if e != nil {
+		e.g, e.opt, e.pool = g, opt, pool
+	} else {
+		e = &SMSPBFSEngine{
+			g:        g,
+			opt:      opt,
+			repr:     repr,
+			pool:     pool,
+			tq:       sched.CreateTasks(n, opt.splitSize(), workers),
+			seen:     newVertexSet(n, repr),
+			buf0:     newVertexSet(n, repr),
+			buf1:     newVertexSet(n, repr),
+			scanned:  make([]padCounter, workers),
+			updated:  make([]padCounter, workers),
+			frontDeg: make([]padCounter, workers),
+		}
+	}
+	e.eng, e.poolBorrowed, e.recycle, e.key, e.released = eng, borrowed, recycle, key, false
 	if opt.Topology.Sockets > 0 {
 		elemBytes := 1
 		if repr == BitState {
@@ -140,19 +159,33 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 			e.tq.SetStealOrder(numa.StealOrder(opt.Topology))
 		}
 	}
+	// First-touch zero; for a recycled shell this doubles as the arena
+	// scrub.
 	e.tq.Reset()
 	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
 		e.seen.ZeroRange(r.Lo, r.Hi)
 		e.buf0.ZeroRange(r.Lo, r.Hi)
 		e.buf1.ZeroRange(r.Lo, r.Hi)
 	})
+	if debugInvariants {
+		debugCheckBorrowedClean("SMS-PBFS shell",
+			e.seen.Count()+e.buf0.Count()+e.buf1.Count())
+	}
 	return e
 }
 
-// Close releases the engine's worker pool if the engine owns it.
+// Close hands the instance back to its engine; see MSPBFSEngine.Close.
 func (e *SMSPBFSEngine) Close() {
-	if e.ownsPool {
-		e.pool.Close()
+	if e.released {
+		return
+	}
+	e.released = true
+	eng, pool := e.eng, e.pool
+	if e.poolBorrowed {
+		eng.returnPool(pool)
+	}
+	if e.recycle {
+		eng.checkinSMS(e)
 	}
 }
 
@@ -163,7 +196,8 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	rec := &iterRecorder{opt: opt}
 	var levels []int32
 	if opt.RecordLevels {
-		levels = make([]int32, n)
+		// NoLevel fill doubles as the level row's arena scrub.
+		levels = e.eng.borrowLevels(n)
 		for i := range levels {
 			levels[i] = NoLevel
 		}
@@ -233,7 +267,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		}
 		rec.record(int(depth), time.Since(iterStart), busy,
 			frontVertices, updated, sumCounters(e.scanned), bottomUp,
-			counterValues(e.scanned), counterValues(e.updated))
+			e.scanned, e.updated)
 
 		frontier, next = next, frontier
 	}

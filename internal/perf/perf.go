@@ -158,6 +158,8 @@ func Scenarios() []Scenario {
 		{"beamer/gapbs", "Beamer direction-optimizing BFS, GAPBS variant", UnitEdgesTraversed, runBeamerGAPBS},
 		{"csr/parallel-build", "parallel CSR construction from an edge list", UnitEdgesBuilt, runCSRBuild},
 		{"server/coalescer", "in-process query coalescer, closed-loop clients", UnitQueries, runCoalescer},
+		{"engine/reuse", "coalescer load on a warm persistent engine", UnitQueries, runEngineReuse},
+		{"engine/coldstart", "coalescer load on a fresh engine per repetition", UnitQueries, runEngineColdStart},
 	}
 }
 

@@ -32,6 +32,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer env.close()
 	scens := Scenarios()
 
 	for w := 0; w < cfg.Warmup; w++ {

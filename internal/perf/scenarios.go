@@ -22,9 +22,13 @@ type suiteEnv struct {
 	g       *graph.Graph // striped labeling, the suite's traversal input
 	sources []int
 	counter *metrics.EdgeCounter
-	edges   []graph.Edge // canonical edge list for the CSR build scenario
-	srvG    *msbfs.Graph // the same CSR wrapped for the coalescer
+	edges   []graph.Edge  // canonical edge list for the CSR build scenario
+	srvG    *msbfs.Graph  // the same CSR wrapped for the coalescer
+	eng     *msbfs.Engine // warm persistent engine for the engine/reuse scenario
 }
+
+// close releases the fixture's long-lived resources after the suite run.
+func (e *suiteEnv) close() { e.eng.Close() }
 
 func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 	base := bench.KroneckerGraph(cfg.Scale, cfg.Seed)
@@ -51,6 +55,7 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 		counter: metrics.NewEdgeCounter(striped),
 		edges:   edges,
 		srvG:    msbfs.NewGraphFromAdjacency(striped.Offsets, striped.Adjacency),
+		eng:     msbfs.NewEngine(msbfs.Options{Workers: cfg.Workers}),
 	}, nil
 }
 
@@ -142,4 +147,41 @@ func runCoalescer(e *suiteEnv) Sample {
 		Work:    int64(st.Requests - st.Failed),
 		Latency: &st.Latency,
 	}
+}
+
+// runEngineLoad drives the coalescer workload with the given engine wired
+// through Config.Engine; it is the shared body of the two engine scenarios.
+func runEngineLoad(e *suiteEnv, eng *msbfs.Engine) Sample {
+	c := server.NewCoalescer(e.srvG, server.Config{
+		Workers:       e.cfg.Workers,
+		BatchWords:    1,
+		FlushDeadline: time.Millisecond,
+		MaxPending:    e.cfg.LoadRequests + e.cfg.LoadClients,
+		Engine:        eng,
+	}, server.NewMetrics(), nil)
+	st := server.DriveLoad(c, server.LoadSpec{
+		Clients:  e.cfg.LoadClients,
+		Requests: e.cfg.LoadRequests,
+		Seed:     e.cfg.Seed,
+	})
+	c.Close()
+	return Sample{
+		Elapsed: st.Elapsed,
+		Work:    int64(st.Requests - st.Failed),
+		Latency: &st.Latency,
+	}
+}
+
+// runEngineReuse serves the load from the suite's warm persistent engine:
+// every flush hits recycled pools and state arenas. Its delta against
+// engine/coldstart is the measured value of engine reuse.
+func runEngineReuse(e *suiteEnv) Sample { return runEngineLoad(e, e.eng) }
+
+// runEngineColdStart serves the same load from a freshly constructed engine
+// torn down after the run, so every arena borrow early in the load is a
+// miss and the pools are built from scratch.
+func runEngineColdStart(e *suiteEnv) Sample {
+	eng := msbfs.NewEngine(msbfs.Options{Workers: e.cfg.Workers})
+	defer eng.Close()
+	return runEngineLoad(e, eng)
 }

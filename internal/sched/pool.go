@@ -23,6 +23,14 @@ type Pool struct {
 	// owning worker between phases).
 	busy []time.Duration
 
+	// panics is the reusable worker-panic hand-off, drained at the end of
+	// every phase, and done is the reusable phase barrier (a WaitGroup is
+	// reusable once Wait has returned). One of each per pool (not per
+	// phase) keeps run allocation-free — phases run once per BFS
+	// iteration, and a per-phase WaitGroup escapes to the heap.
+	panics chan any
+	done   sync.WaitGroup
+
 	closed bool
 }
 
@@ -47,6 +55,7 @@ func NewPool(workers int, lockThreads bool) *Pool {
 		workers: workers,
 		jobs:    make([]chan phaseJob, workers),
 		busy:    make([]time.Duration, workers),
+		panics:  make(chan any, 1),
 	}
 	for w := 0; w < workers; w++ {
 		p.jobs[w] = make(chan phaseJob, 1)
@@ -114,16 +123,14 @@ func (p *Pool) run(tq *TaskQueues, steal bool, timings []time.Duration, body fun
 	if p.closed {
 		panic("sched: pool used after Close")
 	}
-	var done sync.WaitGroup
-	done.Add(p.workers)
-	panics := make(chan any, 1)
-	job := phaseJob{tq: tq, body: body, steal: steal, done: &done, timings: timings, panics: panics}
+	p.done.Add(p.workers)
+	job := phaseJob{tq: tq, body: body, steal: steal, done: &p.done, timings: timings, panics: p.panics}
 	for w := 0; w < p.workers; w++ {
 		p.jobs[w] <- job
 	}
-	done.Wait()
+	p.done.Wait()
 	select {
-	case r := <-panics:
+	case r := <-p.panics:
 		panic(fmt.Sprintf("sched: worker panicked: %v", r))
 	default:
 	}

@@ -1,0 +1,107 @@
+//go:build !race
+
+package server
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	msbfs "repro"
+)
+
+// The coalescer allocation tests pin the serving path's steady state: with
+// the daemon's engine wired in, a flush allocates only its per-batch demux
+// bookkeeping (sources, accumulators, answers) — never a fresh worker pool
+// or state array. MaxBatch 1 makes Submit flush synchronously, so
+// AllocsPerRun sees exactly one request -> one batch per run. Excluded
+// from -race builds (the detector inflates allocation counts).
+
+func newAllocFixture(t *testing.T) (*Coalescer, *msbfs.Engine) {
+	t.Helper()
+	g := msbfs.GenerateUniform(4000, 8, 1)
+	eng := msbfs.NewEngine(msbfs.Options{Workers: 2})
+	c := NewCoalescer(g, Config{Workers: 2, MaxBatch: 1, Engine: eng}, NewMetrics(), nil)
+	t.Cleanup(func() { c.Close(); eng.Close() })
+	return c, eng
+}
+
+func TestCoalescerFlushAllocs(t *testing.T) {
+	c, _ := newAllocFixture(t)
+	ctx := context.Background()
+	q := Query{Kind: KindCloseness, Source: 3}
+	for i := 0; i < 4; i++ { // warm the engine's pool and arena
+		if _, err := c.Submit(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.Submit(ctx, q); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	// Measured ~30 allocs per submit+flush: the pending request and its
+	// demux channel, the batch bookkeeping slices, the visitor closure,
+	// and the traversal's fixed per-call overhead. The bound catches any
+	// per-vertex or per-state regression (a rebuilt state array alone
+	// would add thousands).
+	if allocs > 64 {
+		t.Errorf("coalescer submit+flush: %.0f allocs/op, want <= 64", allocs)
+	}
+}
+
+func TestCoalescerFlushAllocBytes(t *testing.T) {
+	c, _ := newAllocFixture(t)
+	ctx := context.Background()
+	q := Query{Kind: KindBFS, Source: 5, Targets: []int{9}}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const reps = 10
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		if _, err := c.Submit(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / reps
+
+	// One word-wide state array for the served graph; a warmed flush must
+	// stay well under rebuilding even one.
+	stateBytes := uint64(c.g.NumVertices()) * 8
+	if perOp >= stateBytes {
+		t.Errorf("warm flush allocates %d B/op, want < one state array (%d B): engine not wired through",
+			perOp, stateBytes)
+	}
+}
+
+// TestCoalescerEngineReuseAcrossFlushes checks the wiring end to end via
+// the engine's own accounting: repeated flushes must hit the arena, and
+// a drained coalescer must leave nothing checked out.
+func TestCoalescerEngineReuseAcrossFlushes(t *testing.T) {
+	c, eng := newAllocFixture(t)
+	ctx := context.Background()
+	if _, err := c.Submit(ctx, Query{Kind: KindCloseness, Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Stats()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(ctx, Query{Kind: KindCloseness, Source: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Hits <= first.Hits {
+		t.Errorf("repeated flushes recorded no arena hits (%d -> %d)", first.Hits, st.Hits)
+	}
+	if st.Borrowed != 0 {
+		t.Errorf("borrowed = %d between flushes, want 0", st.Borrowed)
+	}
+}

@@ -110,6 +110,11 @@ type Config struct {
 	// RequestTimeout bounds each request server-side (0: 10s). Applied by
 	// the HTTP layer, not the Coalescer (Submit honors its Context).
 	RequestTimeout time.Duration
+	// Engine is the execution engine batch flushes run on, so every flush
+	// reuses the same pooled workers and recycled state arrays. The
+	// Registry wires its per-daemon engine here; nil falls back to the
+	// library's shared default engine.
+	Engine *msbfs.Engine
 }
 
 func (c Config) normalize() Config {
@@ -379,7 +384,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 		}
 	}
 
-	opt := msbfs.Options{Workers: c.cfg.Workers}
+	opt := msbfs.Options{Workers: c.cfg.Workers, Engine: c.cfg.Engine}
 	if allBounded {
 		// A batch of pure khop queries never needs depths beyond the
 		// widest radius; prune the traversal instead of filtering visits.

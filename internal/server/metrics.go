@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	msbfs "repro"
 	"repro/internal/metrics"
 )
 
@@ -80,4 +81,19 @@ func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
 			graph, q.name, time.Duration(q.v).Seconds())
 	}
 	fmt.Fprintf(w, "bfsd_gteps%s %.4f\n", l, m.GTEPS())
+}
+
+// writeEngineTo renders the daemon engine's pool/arena occupancy gauges
+// (unlabelled: one engine serves every graph).
+func writeEngineTo(w io.Writer, st msbfs.EngineStats) {
+	fmt.Fprintf(w, "bfsd_engine_pools_free %d\n", st.FreePools)
+	fmt.Fprintf(w, "bfsd_engine_pooled_workers %d\n", st.PooledWorkers)
+	fmt.Fprintf(w, "bfsd_engine_arena_free_shells %d\n", st.FreeShells)
+	fmt.Fprintf(w, "bfsd_engine_arena_free_states %d\n", st.FreeStates)
+	fmt.Fprintf(w, "bfsd_engine_arena_free_bitmaps %d\n", st.FreeBitmaps)
+	fmt.Fprintf(w, "bfsd_engine_arena_free_level_rows %d\n", st.FreeLevelRows)
+	fmt.Fprintf(w, "bfsd_engine_arena_free_bytes %d\n", st.FreeBytes)
+	fmt.Fprintf(w, "bfsd_engine_borrowed %d\n", st.Borrowed)
+	fmt.Fprintf(w, "bfsd_engine_arena_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "bfsd_engine_arena_misses_total %d\n", st.Misses)
 }

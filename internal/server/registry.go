@@ -45,15 +45,38 @@ func (e *Entry) Submit(ctx context.Context, q Query) (Answer, error) {
 	return e.Coal.Submit(ctx, q)
 }
 
-// Registry holds the named graphs a server instance serves.
+// Registry holds the named graphs a server instance serves, plus the
+// daemon's one execution engine: every registered graph's coalescer runs
+// its batch flushes on the same pooled workers and recycled state arenas.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*Entry
+	eng    *msbfs.Engine
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with a fresh per-daemon engine.
 func NewRegistry() *Registry {
-	return &Registry{graphs: make(map[string]*Entry)}
+	return &Registry{
+		graphs: make(map[string]*Entry),
+		eng:    msbfs.NewEngine(msbfs.Options{}),
+	}
+}
+
+// Engine returns the registry's shared execution engine.
+func (r *Registry) Engine() *msbfs.Engine { return r.eng }
+
+// EngineStats snapshots the shared engine's pool/arena occupancy (the
+// /metrics bfsd_engine_* gauges).
+func (r *Registry) EngineStats() msbfs.EngineStats { return r.eng.Stats() }
+
+// wireEngine defaults cfg.Engine to the registry's engine and pre-spawns a
+// pooled worker set of the configured width so the first flush is warm.
+func (r *Registry) wireEngine(cfg Config) Config {
+	if cfg.Engine == nil {
+		cfg.Engine = r.eng
+	}
+	cfg.Engine.Prewarm(cfg.Workers)
+	return cfg
 }
 
 // Load materializes a graph from spec, applies the paper's striped
@@ -83,6 +106,7 @@ func (r *Registry) Add(name string, g *msbfs.Graph, relabel bool, cfg Config) (*
 // AddRunner registers a graph behind a custom Runner (tests inject
 // batch-counting wrappers). No relabeling is applied; ids pass through.
 func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config) (*Entry, error) {
+	cfg = r.wireEngine(cfg)
 	met := NewMetrics()
 	e := &Entry{
 		Name: name,
@@ -95,7 +119,7 @@ func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config
 }
 
 func (r *Registry) add(name, spec string, g *msbfs.Graph, relabel bool, cfg Config) (*Entry, error) {
-	cfg = cfg.normalize()
+	cfg = r.wireEngine(cfg.normalize())
 	var perm []uint32
 	if relabel && g.NumVertices() > 0 {
 		g, perm = g.Relabel(msbfs.LabelStriped, cfg.Workers, 512, 1)
@@ -150,8 +174,9 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Close drains every graph's coalescer: pending requests are flushed as
-// final batches and in-flight batches complete.
+// Close drains every graph's coalescer — pending requests are flushed as
+// final batches and in-flight batches complete — then releases the shared
+// engine's pooled workers and arena memory.
 func (r *Registry) Close() {
 	r.mu.RLock()
 	entries := make([]*Entry, 0, len(r.graphs))
@@ -162,6 +187,7 @@ func (r *Registry) Close() {
 	for _, e := range entries {
 		e.Coal.Close()
 	}
+	r.eng.Close()
 }
 
 // buildGraph materializes a graph from a registry spec.

@@ -206,6 +206,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		e, _ := s.reg.Get(name)
 		e.Met.writeTo(w, name, e.Coal.QueueLen())
 	}
+	writeEngineTo(w, s.reg.EngineStats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

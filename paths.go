@@ -112,5 +112,5 @@ func (g *Graph) Betweenness(sources []int, opt Options) []float64 {
 	for _, s := range sources {
 		g.checkSource(s)
 	}
-	return core.BrandesBetweenness(g.g, sources, opt.Normalize().Workers)
+	return core.BrandesBetweenness(g.g, sources, opt.Normalize().toCore())
 }

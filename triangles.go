@@ -8,14 +8,15 @@ import (
 // node-iterator algorithm with forward adjacency: each triangle {u, v, w}
 // with u < v < w is found exactly once by intersecting the forward
 // (greater-id) neighbor lists of u and v. Vertices are processed in
-// parallel through the library's work-stealing scheduler — the same
-// machinery that runs the BFS kernels.
+// parallel on a worker pool borrowed from the engine (Options.Engine or
+// the library default) — the same machinery that runs the BFS kernels.
 func (g *Graph) Triangles(opt Options) int64 {
 	n := g.NumVertices()
-	workers := opt.Normalize().Workers
+	opt = opt.Normalize()
+	workers := opt.Workers
 	counts := make([]int64, workers*8) // spaced to avoid false sharing
-	pool := sched.NewPool(workers, false)
-	defer pool.Close()
+	pool, release := opt.sharedEngine().BorrowPool(workers)
+	defer release()
 	tq := sched.CreateTasks(n, sched.DefaultSplitSize, workers)
 	pool.ParallelFor(tq, func(workerID int, r sched.Range) {
 		var local int64

@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet race debug ci fmt serve loadtest perf perf-compare fuzz-smoke
+.PHONY: all build test lint vet race debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
 
 all: build
 
@@ -76,5 +76,11 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzLoadEdgeList$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 
+# obs-smoke = end-to-end check of the observability surface: bfsd debug
+# endpoints (pprof, flight recorder) and the bfsrun Chrome trace export
+# (validated by scripts/tracecheck). See docs/OBSERVABILITY.md.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint test race debug
+ci: build lint test race debug obs-smoke

@@ -39,6 +39,11 @@ type Options struct {
 	// When nil, the library's shared default engine is used, so repeated
 	// calls avoid pool/state churn either way.
 	Engine *Engine
+	// Tracer, when non-nil, records a per-iteration flight record for
+	// every traversal (direction decisions and their reasons, frontier
+	// counts, per-worker work-stealing balance, arena behavior). Nil is
+	// free; see NewTracer.
+	Tracer *Tracer
 }
 
 // Normalize returns a copy of o with out-of-range fields clamped to their
@@ -74,6 +79,7 @@ func (o Options) toCore() core.Options {
 		RecordLevels:     o.RecordLevels,
 		CollectIterStats: o.CollectIterStats,
 		Engine:           o.Engine.coreEngine(),
+		Tracer:           o.Tracer.obsTracer(),
 	}
 	switch {
 	case o.TopDownOnly:

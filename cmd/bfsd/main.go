@@ -7,11 +7,15 @@
 //	bfsd -graph demo=kron:scale=14 -addr :8080
 //	bfsd -graph social=social:n=200000 -graph web=file:web.bin \
 //	     -workers 8 -batchwords 4 -flush 2ms
+//	bfsd -graph demo=kron:scale=14 -debug-addr 127.0.0.1:6060
 //
 // Endpoints: POST /bfs /closeness /reachability /khop;
-// GET /graphs /healthz /metrics. SIGINT/SIGTERM drains gracefully:
-// the listener stops, queued requests flush as final batches, in-flight
-// batches finish.
+// GET /graphs /healthz /metrics. With -debug-addr a second, separate
+// listener serves the debug surface (pprof, runtime/trace capture, the
+// request flight recorder; see docs/OBSERVABILITY.md) — off by default so
+// profiling endpoints are never reachable from the query port.
+// SIGINT/SIGTERM drains gracefully: the listener stops, queued requests
+// flush as final batches, in-flight batches finish.
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +66,7 @@ func main() {
 		"file:PATH, kron:scale=S, uniform:n=N, social:n=N; see docs/SERVER.md)")
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof/runtime-trace/flight-recorder debug endpoints on this address (empty: disabled)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "traversal workers per batch")
 		batchWords = flag.Int("batchwords", 1, "MS-PBFS bitset width in words (batch = 64*words sources)")
 		maxBatch   = flag.Int("maxbatch", 0, "override flush width in sources (0: 64*batchwords; 1: disable coalescing)")
@@ -69,34 +74,65 @@ func main() {
 		maxPending = flag.Int("maxpending", 0, "pending-queue bound, beyond it requests get 429 (0: 4x flush width)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request server-side timeout")
 		drainWait  = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+		slowQuery  = flag.Duration("slow-query", server.DefaultSlowQuery, "latency above which a request enters the slow-query log and is logged")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
+		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	)
 	flag.Parse()
-	if err := run(graphs, *addr, server.Config{
+
+	logger, err := newLogger(os.Stderr, *logJSON, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsd:", err)
+		os.Exit(1)
+	}
+	if err := run(logger, graphs, *addr, *debugAddr, server.Config{
 		Workers:        *workers,
 		BatchWords:     *batchWords,
 		MaxBatch:       *maxBatch,
 		FlushDeadline:  *flush,
 		MaxPending:     *maxPending,
 		RequestTimeout: *timeout,
-	}, *drainWait); err != nil {
-		fmt.Fprintln(os.Stderr, "bfsd:", err)
+	}, *slowQuery, *drainWait); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphs graphFlags, addr string, cfg server.Config, drainWait time.Duration) error {
+// newLogger builds the daemon's structured logger: logfmt text by default,
+// JSON for log pipelines.
+func newLogger(w *os.File, asJSON bool, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}
+
+func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string,
+	cfg server.Config, slowQuery, drainWait time.Duration) error {
 	if len(graphs) == 0 {
 		return errors.New("no graphs to serve (pass at least one -graph NAME=SPEC)")
 	}
 	reg := server.NewRegistry()
+	reg.SetLogger(logger)
+	reg.SetSlowQuery(slowQuery)
 	for name, spec := range graphs {
 		start := time.Now()
 		e, err := reg.Load(name, spec, cfg)
 		if err != nil {
 			return err
 		}
-		log.Printf("graph %q (%s): %d vertices, %d edges, striped-relabeled, loaded in %v",
-			name, spec, e.G.NumVertices(), e.G.NumEdges(), time.Since(start).Round(time.Millisecond))
+		logger.Info("graph loaded",
+			"graph", name, "spec", spec,
+			"vertices", e.G.NumVertices(), "edges", e.G.NumEdges(),
+			"relabel", "striped", "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	srv := server.New(reg, cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
@@ -109,26 +145,48 @@ func run(graphs graphFlags, addr string, cfg server.Config, drainWait time.Durat
 	go func() {
 		errc <- httpSrv.ListenAndServe()
 	}()
-	log.Printf("bfsd listening on %s (workers=%d batch=%d flush=%v)",
-		addr, cfg.Workers, srv.MaxBatch(), cfg.FlushDeadline)
+	logger.Info("listening", "addr", addr,
+		"workers", cfg.Workers, "batch", srv.MaxBatch(), "flush", cfg.FlushDeadline)
+
+	// The debug surface binds its own listener so it can be kept on
+	// loopback (or off, the default) while the query port is public.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: server.NewDebugHandler(reg)}
+		//bfs:detached debug listener goroutine; shut down alongside the main listener
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug endpoints enabled", "addr", debugAddr,
+			"slow_query", slowQuery)
+	}
 
 	select {
 	case err := <-errc:
 		return err // listener failed before any signal
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining (grace %v)", drainWait)
+	logger.Info("signal received; draining", "grace", drainWait)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("debug listener shutdown", "err", err)
+		}
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("listener shutdown: %w", err)
 	}
 	<-errc // reap the listener goroutine (returns ErrServerClosed)
 	st := reg.EngineStats()
 	srv.Close() // flush queued requests as final batches, wait for batches; releases the engine
-	log.Printf("engine at drain: %d pooled workers, %d arena objects (%d bytes) free, %d/%d arena hits",
-		st.PooledWorkers, st.FreeShells+st.FreeStates+st.FreeBitmaps+st.FreeLevelRows,
-		st.FreeBytes, st.Hits, st.Hits+st.Misses)
-	log.Print("drained cleanly")
+	logger.Info("engine at drain",
+		"pooled_workers", st.PooledWorkers,
+		"arena_free_objects", st.FreeShells+st.FreeStates+st.FreeBitmaps+st.FreeLevelRows,
+		"arena_free_bytes", st.FreeBytes,
+		"arena_hits", st.Hits, "arena_lookups", st.Hits+st.Misses)
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -11,6 +13,24 @@ import (
 
 	"repro/internal/server"
 )
+
+// testLogger discards output; the logging path itself is covered by the
+// slow-query tests in internal/server.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// freeAddr reserves an ephemeral port and returns it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
 
 func TestGraphFlags(t *testing.T) {
 	g := graphFlags{}
@@ -31,28 +51,37 @@ func TestGraphFlags(t *testing.T) {
 }
 
 func TestRunRequiresGraphs(t *testing.T) {
-	if err := run(graphFlags{}, ":0", server.Config{}, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{}, ":0", "", server.Config{}, 0, time.Second); err == nil {
 		t.Error("run with no graphs must fail")
 	}
-	if err := run(graphFlags{"g": "warp:n=1"}, ":0", server.Config{}, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{"g": "warp:n=1"}, ":0", "", server.Config{}, 0, time.Second); err == nil {
 		t.Error("run with a bad spec must fail")
 	}
 }
 
-// TestRunServesAndDrains boots the daemon on a free port, queries it, then
-// delivers SIGTERM and expects a clean drain.
-func TestRunServesAndDrains(t *testing.T) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+func TestNewLogger(t *testing.T) {
+	for _, level := range []string{"debug", "info", "WARN", "error"} {
+		if _, err := newLogger(nil, false, level); err != nil {
+			t.Errorf("newLogger(%q): %v", level, err)
+		}
 	}
-	addr := l.Addr().String()
-	l.Close()
+	if _, err := newLogger(nil, true, "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+// TestRunServesAndDrains boots the daemon (with its debug listener) on
+// free ports, queries both, then delivers SIGTERM and expects a clean
+// drain that also takes the debug listener down.
+func TestRunServesAndDrains(t *testing.T) {
+	addr := freeAddr(t)
+	debugAddr := freeAddr(t)
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
-			server.Config{Workers: 2, FlushDeadline: time.Millisecond}, 5*time.Second)
+		done <- run(testLogger(), graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
+			debugAddr, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
+			server.DefaultSlowQuery, 5*time.Second)
 	}()
 
 	base := "http://" + addr
@@ -89,6 +118,33 @@ func TestRunServesAndDrains(t *testing.T) {
 		t.Errorf("khop: status %d count %d", resp.StatusCode, qr.Count)
 	}
 
+	// The debug listener runs on its own port and serves the flight
+	// recorder, which by now has the khop request above.
+	dresp, err := http.Get("http://" + debugAddr + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Requests []struct {
+			TraceID uint64 `json:"trace_id"`
+			Kind    string `json:"kind"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&flight); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if len(flight.Requests) == 0 || flight.Requests[0].TraceID == 0 {
+		t.Errorf("flight recorder empty or without trace ids: %+v", flight.Requests)
+	}
+	// The main listener must not expose the debug surface.
+	if mresp, err := http.Get(base + "/debug/pprof/heap"); err == nil {
+		if mresp.StatusCode == http.StatusOK {
+			t.Error("main listener serves /debug/pprof/heap")
+		}
+		mresp.Body.Close()
+	}
+
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +158,9 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("listener still accepting after drain")
+	}
+	if _, err := http.Get("http://" + debugAddr + "/debug/flightrecorder"); err == nil {
+		t.Error("debug listener still accepting after drain")
 	}
 }
 

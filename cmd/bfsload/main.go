@@ -21,6 +21,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -100,10 +101,17 @@ type driveConfig struct {
 // report aggregates one load run.
 type report struct {
 	Sent, OK, Throttled, Failed int
-	Elapsed                     time.Duration
-	Latency                     metrics.Histogram // ns, successful requests
-	Width                       metrics.Histogram // batch width per successful request
-	WaitMicros                  metrics.Histogram
+	// StatusCounts breaks down every failed or throttled request by HTTP
+	// status code; transport errors (no response at all) count under
+	// status 0.
+	StatusCounts map[int]int
+	// RetryAfter counts throttled responses that carried a Retry-After
+	// header — under sustained overload it should equal Throttled.
+	RetryAfter int
+	Elapsed    time.Duration
+	Latency    metrics.Histogram // ns, successful requests
+	Width      metrics.Histogram // batch width per successful request
+	WaitMicros metrics.Histogram
 }
 
 // MeanBatchWidth is the achieved coalescing factor as observed by clients:
@@ -119,6 +127,27 @@ func (r *report) print(w io.Writer) {
 	fmt.Fprintf(w, "requests: %d ok, %d throttled (429), %d failed in %v (%.0f req/s)\n",
 		r.OK, r.Throttled, r.Failed, r.Elapsed.Round(time.Millisecond),
 		float64(r.OK)/r.Elapsed.Seconds())
+	if len(r.StatusCounts) > 0 {
+		codes := make([]int, 0, len(r.StatusCounts))
+		for code := range r.StatusCounts {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		fmt.Fprintf(w, "errors:   ")
+		for i, code := range codes {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			label := fmt.Sprintf("%d %s", code, http.StatusText(code))
+			if code == 0 {
+				label = "transport error"
+			}
+			fmt.Fprintf(w, "%s x%d", label, r.StatusCounts[code])
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "retry-after: %d of %d throttled responses carried the header\n",
+			r.RetryAfter, r.Throttled)
+	}
 	fmt.Fprintf(w, "latency:  %s\n", r.Latency.DurationString())
 	fmt.Fprintf(w, "queue wait (server-reported): p50=%dus p95=%dus\n",
 		r.WaitMicros.P50(), r.WaitMicros.P95())
@@ -172,7 +201,7 @@ func drive(base string, cfg driveConfig) (*report, error) {
 		return nil, fmt.Errorf("unknown kind %q", cfg.Kind)
 	}
 
-	rep := &report{}
+	rep := &report{StatusCounts: map[int]int{}}
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex // guards the plain counters; histograms are atomic
@@ -202,17 +231,23 @@ func drive(base string, cfg driveConfig) (*report, error) {
 					body["hops"] = 1 + r.Intn(3)
 				}
 				t0 := time.Now()
-				status, resp, err := post(client, base+"/"+kind, body)
+				status, resp, retryAfter, err := post(client, base+"/"+kind, body)
 				lat := time.Since(t0)
 				mu.Lock()
 				rep.Sent++
 				switch {
 				case err != nil:
 					rep.Failed++
+					rep.StatusCounts[status]++ // 0 for transport errors
 				case status == http.StatusTooManyRequests:
 					rep.Throttled++
+					rep.StatusCounts[status]++
+					if retryAfter {
+						rep.RetryAfter++
+					}
 				case status != http.StatusOK:
 					rep.Failed++
+					rep.StatusCounts[status]++
 				default:
 					rep.OK++
 				}
@@ -235,23 +270,27 @@ type queryResponse struct {
 	WaitMicros int64 `json:"wait_us"`
 }
 
-func post(client *http.Client, url string, body map[string]any) (int, *queryResponse, error) {
+// post issues one query. retryAfter reports whether the response carried a
+// Retry-After header (the 429 backoff hint). Transport errors return
+// status 0.
+func post(client *http.Client, url string, body map[string]any) (status int, qr *queryResponse, retryAfter bool, err error) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	defer resp.Body.Close()
-	var qr queryResponse
+	retryAfter = resp.Header.Get("Retry-After") != ""
+	qr = &queryResponse{}
 	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-			return resp.StatusCode, nil, err
+		if err := json.NewDecoder(resp.Body).Decode(qr); err != nil {
+			return resp.StatusCode, nil, retryAfter, err
 		}
 	} else {
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
-	return resp.StatusCode, &qr, nil
+	return resp.StatusCode, qr, retryAfter, nil
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/label"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 var algoNames = []string{
@@ -46,10 +47,25 @@ func main() {
 		sockets    = flag.Int("sockets", 2, "socket count for mspbfs-persocket")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the BFS run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight record (setup spans + per-iteration detail) to this file")
+		traceText  = flag.Bool("tracetext", false, "print the flight record as a per-iteration text table after the run")
 	)
 	flag.Parse()
 
+	// The tracer stays nil unless a trace output was requested, so the
+	// default invocation exercises the kernels' tracing-disabled fast path.
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceText {
+		tracer = obs.NewTracer()
+	}
+
+	graphDetail := *graphPath
+	if graphDetail == "" {
+		graphDetail = fmt.Sprintf("kron scale=%d", *scale)
+	}
+	buildSpan := tracer.StartSpan("csr-build", graphDetail)
 	g, err := loadOrGenerate(*graphPath, *scale, *seed)
+	buildSpan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
@@ -60,7 +76,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bfsrun:", err)
 			os.Exit(1)
 		}
+		relabelSpan := tracer.StartSpan("relabel", *labeling)
 		g, _ = label.Apply(g, scheme, label.Params{Workers: *workers, TaskSize: 512, Seed: *seed})
+		relabelSpan.End()
 	}
 
 	fmt.Printf("graph: %d vertices, %d edges (%.1f MB)\n",
@@ -82,6 +100,7 @@ func main() {
 		BatchWords:       *batchWords,
 		CollectIterStats: *iterstats,
 		Engine:           eng,
+		Tracer:           tracer,
 	}
 
 	if *cpuProfile != "" {
@@ -135,6 +154,33 @@ func main() {
 				it.Duration.Round(time.Microsecond))
 		}
 	}
+
+	if *traceText {
+		if err := tracer.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:     %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}
+
+// writeTraceFile exports the flight record as Chrome trace-event JSON.
+func writeTraceFile(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadOrGenerate(path string, scale int, seed uint64) (*graph.Graph, error) {

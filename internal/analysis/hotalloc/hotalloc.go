@@ -14,6 +14,16 @@
 // An allocation that is intentional (for example a once-per-phase buffer
 // grown inside a rarely-taken branch) is suppressed with //bfs:alloc-ok plus
 // a justification on the allocation line.
+//
+// The pass also enforces the tracezero rule: calls to the observability
+// layer's method surface (receiver types Tracer, Traversal, SpanHandle —
+// internal/obs) inside a //bfs:hot loop must sit behind an explicit
+// `recv != nil` fast-path guard. The obs methods are nil-receiver-safe, but
+// inside a hot loop the guard is what keeps the disabled-tracing cost to a
+// single predictable branch and — because Go evaluates arguments before the
+// callee's own nil check — is the only place argument construction can be
+// skipped. Allocations inside the guarded block are still flagged by the
+// ordinary rules: enabling tracing must not start allocating per edge.
 package hotalloc
 
 import (
@@ -30,7 +40,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make/new/append calls, New*/Create* constructor calls, slice/map composite " +
 		"literals and closures inside loops annotated //bfs:hot; methods on an execution Engine " +
-		"(the arena borrow/return path) are exempt; suppress a justified site with //bfs:alloc-ok",
+		"(the arena borrow/return path) are exempt; tracer-surface calls (Tracer/Traversal/" +
+		"SpanHandle receivers) must sit behind a `recv != nil` guard (tracezero); suppress a " +
+		"justified site with //bfs:alloc-ok",
 	Run: run,
 }
 
@@ -59,11 +71,21 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// checkHotBody reports every allocation site in the subtree rooted at body.
+// checkHotBody reports every allocation site in the subtree rooted at body,
+// plus tracer-surface calls outside a nil-guard fast path (tracezero).
 func checkHotBody(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) {
+	guards := collectNilGuards(body)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
+			if recv, name, ok := tracerMethod(pass, n); ok {
+				if !guards.covers(recv, n.Pos()) {
+					report(pass, ann, n.Pos(),
+						"tracezero: call to %s.%s inside a //bfs:hot loop must sit behind an `%s != nil` fast-path guard",
+						recv, name, recv)
+				}
+				return true
+			}
 			if name := builtinAllocName(pass, n); name != "" {
 				report(pass, ann, n.Pos(), "call to %s allocates inside a //bfs:hot loop", name)
 			} else if name := constructorCallName(pass, n); name != "" {
@@ -142,6 +164,102 @@ func isEngineRecv(sel *types.Selection) bool {
 	}
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Name() == "Engine"
+}
+
+// tracerTypeNames are the named receiver types of the observability
+// surface (internal/obs) the tracezero rule applies to. Matching is by
+// type name so the golden testdata (standard-library imports only) can
+// model the surface with local types.
+var tracerTypeNames = map[string]bool{
+	"Tracer":     true,
+	"Traversal":  true,
+	"SpanHandle": true,
+}
+
+// tracerMethod reports whether call is a method call on a tracer-surface
+// type, returning the receiver expression (rendered as source) and the
+// method name.
+func tracerMethod(pass *analysis.Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	sel, isMethod := pass.TypesInfo.Selections[fun]
+	if !isMethod {
+		return "", "", false
+	}
+	t := sel.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || !tracerTypeNames[named.Obj().Name()] {
+		return "", "", false
+	}
+	return types.ExprString(fun.X), fun.Sel.Name, true
+}
+
+// nilGuard is one `expr != nil` condition and the statement range it
+// dominates (the if body).
+type nilGuard struct {
+	expr     string
+	from, to token.Pos
+}
+
+type nilGuards []nilGuard
+
+// covers reports whether pos lies inside a region guarded by a nil check
+// on exactly the given receiver expression.
+func (g nilGuards) covers(recv string, pos token.Pos) bool {
+	for _, guard := range g {
+		if guard.expr == recv && guard.from <= pos && pos <= guard.to {
+			return true
+		}
+	}
+	return false
+}
+
+// collectNilGuards gathers every `if expr != nil { ... }` region in the
+// subtree, including conjuncts of && conditions (`if expr != nil && more`).
+func collectNilGuards(body *ast.BlockStmt) nilGuards {
+	var guards nilGuards
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, expr := range nilCheckedExprs(ifStmt.Cond) {
+			guards = append(guards, nilGuard{expr: expr, from: ifStmt.Body.Pos(), to: ifStmt.Body.End()})
+		}
+		return true
+	})
+	return guards
+}
+
+// nilCheckedExprs extracts the expressions proven non-nil by cond: the X of
+// every `X != nil` conjunct.
+func nilCheckedExprs(cond ast.Expr) []string {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch be.Op {
+	case token.LAND:
+		return append(nilCheckedExprs(be.X), nilCheckedExprs(be.Y)...)
+	case token.NEQ:
+		if isNilIdent(be.Y) {
+			return []string{types.ExprString(be.X)}
+		}
+		if isNilIdent(be.X) {
+			return []string{types.ExprString(be.Y)}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // report emits a diagnostic unless the site is suppressed with

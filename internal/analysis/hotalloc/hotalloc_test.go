@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "b")
 }

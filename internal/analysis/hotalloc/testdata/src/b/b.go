@@ -1,0 +1,70 @@
+// Package b is the golden package for the tracezero rule: tracer-surface
+// method calls (Tracer/Traversal/SpanHandle receivers, modelled locally so
+// the package compiles with standard-library imports only) inside a
+// //bfs:hot loop must sit behind a `recv != nil` fast-path guard, and the
+// guarded block must still be allocation-free.
+package b
+
+// Tracer, Traversal and SpanHandle mirror the internal/obs surface; the
+// analyzer matches receivers by type name.
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *SpanHandle { return nil }
+
+type Traversal struct{ n int }
+
+func (tr *Traversal) Record(iter int)     {}
+func (tr *Traversal) RecordAll(its []int) {}
+
+type SpanHandle struct{}
+
+func (s *SpanHandle) End() {}
+
+type recorder struct {
+	tr *Traversal
+}
+
+func hotTraced(n int, t *Tracer, tv *Traversal) {
+	//bfs:hot
+	for i := 0; i < n; i++ {
+		tv.Record(i) // want `tracezero: call to tv\.Record inside a //bfs:hot loop`
+		if tv != nil {
+			tv.Record(i) // guarded: quiet
+		}
+		if tv != nil && i > 0 {
+			tv.Record(i) // guarded via && conjunct: quiet
+		}
+		if i > 0 {
+			tv.Record(i) // want `tracezero: call to tv\.Record inside a //bfs:hot loop`
+		}
+		sp := t.StartSpan("iter") // want `tracezero: call to t\.StartSpan inside a //bfs:hot loop`
+		sp.End()                  // want `tracezero: call to sp\.End inside a //bfs:hot loop`
+		if t != nil {
+			sp2 := t.StartSpan("iter")
+			if sp2 != nil {
+				sp2.End() // each receiver guarded: quiet
+			}
+		}
+	}
+}
+
+func hotTracedField(n int, r recorder, buf []int) {
+	//bfs:hot
+	for i := 0; i < n; i++ {
+		if r.tr != nil {
+			r.tr.Record(i)                    // field receiver guarded: quiet
+			r.tr.RecordAll(append(buf, i))    // want `call to append allocates inside a //bfs:hot loop`
+			r.tr.RecordAll([]int{i}) // want `slice literal allocates inside a //bfs:hot loop`
+		}
+		if r.tr != nil {
+			_ = i
+		}
+		r.tr.Record(i) // want `tracezero: call to r\.tr\.Record inside a //bfs:hot loop`
+	}
+}
+
+func coldTracer(n int, tv *Traversal) {
+	for i := 0; i < n; i++ {
+		tv.Record(i) // unannotated loop: quiet
+	}
+}

@@ -41,6 +41,19 @@ func (v BeamerVariant) String() string {
 	}
 }
 
+// algoName is the flight-record kernel label; constant per variant so
+// the disabled-tracing path never builds a string.
+func (v BeamerVariant) algoName() string {
+	switch v {
+	case BeamerSparse:
+		return "beamer/sparse"
+	case BeamerDense:
+		return "beamer/dense"
+	default:
+		return "beamer/gapbs"
+	}
+}
+
 // Beamer runs the selected sequential direction-optimizing BFS variant.
 // Only Direction, Alpha, Beta, RecordLevels and CollectIterStats of opt are
 // honored; the algorithm is single-threaded by definition (Section 5.2).
@@ -55,7 +68,7 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 			levels[i] = NoLevel
 		}
 	}
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, variant.algoName(), 1, nil)
 
 	// Total degree sum for the alpha heuristic.
 	edgesTotal := int64(len(g.Adjacency))
@@ -89,19 +102,15 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
+	var dirReason string
 
 	for frontVertices > 0 {
 		depth++
 		iterStart := time.Now()
 
 		// Direction decision (Beamer's alpha/beta heuristic).
-		if opt.Direction == Auto {
-			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
-				bottomUp = true
-			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
-				bottomUp = false
-			}
-		}
+		bottomUp, dirReason = decideDirection(opt, bottomUp,
+			frontVertices, frontEdges, unexploredEdges, n)
 
 		var scanned, updated int64
 		if bottomUp {
@@ -183,9 +192,11 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 		if unexploredEdges < 0 {
 			unexploredEdges = 0
 		}
-		rec.record(int(depth), time.Since(iterStart), nil, frontVertices, updated, scanned, bottomUp, nil, nil)
+		rec.record(int(depth), time.Since(iterStart), nil,
+			frontVertices, updated, scanned, visited, bottomUp, dirReason, nil, nil)
 	}
 
+	rec.finish()
 	res := &Result{Levels: levels, VisitedVertices: visited}
 	res.Stats = metrics.RunStat{Elapsed: time.Since(start), Sources: 1, Iterations: rec.stats}
 	return res

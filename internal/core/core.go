@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -108,6 +109,12 @@ type Options struct {
 	// way; wire an explicit engine to isolate a subsystem's recycling (one
 	// engine per daemon, per test, per benchmark).
 	Engine *Engine
+	// Tracer, when non-nil, records a flight record for every traversal:
+	// one entry per BFS iteration with the direction decision and its
+	// reason, frontier/next/visited counts, wall time, per-worker
+	// task/steal counts, and engine arena hit/miss deltas. Nil (the
+	// default) is free — the kernels pay one pointer test per iteration.
+	Tracer *obs.Tracer
 	// Topology optionally enables the NUMA placement model; when non-zero
 	// the run records modeled page locality into NUMAStats.
 	Topology numa.Topology
@@ -271,11 +278,39 @@ func resetCounters(cs []padCounter) {
 	}
 }
 
-// iterRecorder centralizes the optional per-iteration stat collection
-// shared by all parallel algorithms.
+// iterRecorder centralizes the optional per-iteration instrumentation
+// shared by all parallel algorithms: metrics.IterationStat collection
+// (Options.CollectIterStats) and the obs flight record (Options.Tracer).
+// Both are off in the zero value and each gates itself, so kernels call
+// record unconditionally on every iteration.
 type iterRecorder struct {
 	opt   Options
 	stats []metrics.IterationStat
+
+	// tr is the open flight record (nil when tracing is off). pool and
+	// the prev* snapshots turn the pool's cumulative task/steal counters
+	// into per-iteration deltas.
+	tr                    *obs.Traversal
+	pool                  *sched.Pool
+	prevTasks, prevSteals []int64
+}
+
+// newIterRecorder opens the per-traversal instrumentation. algo and
+// sources label the flight record; pool, when non-nil, contributes
+// per-worker task/steal deltas per iteration. With a nil Options.Tracer
+// this is exactly the old zero-value recorder.
+func newIterRecorder(opt Options, algo string, sources int, pool *sched.Pool) iterRecorder {
+	r := iterRecorder{opt: opt}
+	if opt.Tracer != nil {
+		r.tr = opt.Tracer.StartTraversal(algo, sources)
+		r.tr.SetArenaBase(opt.engine().arenaCounters())
+		if pool != nil {
+			r.pool = pool
+			r.prevTasks = pool.TaskCounts(nil)
+			r.prevSteals = pool.StealCounts(nil)
+		}
+	}
+	return r
 }
 
 // record appends one iteration's stats. The per-worker counters come in
@@ -283,8 +318,28 @@ type iterRecorder struct {
 // taken when stat collection is actually on — the kernels call record on
 // every iteration, stats or not.
 func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
-	frontier, updated, scanned int64, bottomUp bool,
+	frontier, updated, scanned, visited int64, bottomUp bool, reason string,
 	scannedC, updatedC []padCounter) {
+	if r.tr != nil {
+		rec := obs.IterationRecord{
+			Iteration: iter,
+			BottomUp:  bottomUp,
+			Reason:    reason,
+			Frontier:  frontier,
+			Next:      updated,
+			Scanned:   scanned,
+			Visited:   visited,
+			Duration:  dur,
+		}
+		if r.pool != nil {
+			tasks := r.pool.TaskCounts(nil)
+			steals := r.pool.StealCounts(nil)
+			rec.WorkerTasks = diffInt64(tasks, r.prevTasks)
+			rec.WorkerSteals = diffInt64(steals, r.prevSteals)
+			r.prevTasks, r.prevSteals = tasks, steals
+		}
+		r.tr.Record(rec)
+	}
 	if !r.opt.collectStats() {
 		return
 	}
@@ -302,6 +357,24 @@ func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
 		st.UpdatedPerWorker = counterValues(updatedC)
 	}
 	r.stats = append(r.stats, st)
+}
+
+// finish closes the flight record, stamping the traversal's arena
+// hit/miss deltas. Kernels call it once after the BFS loop.
+func (r *iterRecorder) finish() {
+	if r.tr != nil {
+		hits, misses := r.opt.engine().arenaCounters()
+		r.tr.Finish(hits, misses)
+	}
+}
+
+// diffInt64 returns cur-prev element-wise, reusing cur's backing array
+// (cur was freshly appended by the pool accessors).
+func diffInt64(cur, prev []int64) []int64 {
+	for i := range cur {
+		cur[i] -= prev[i]
+	}
+	return cur
 }
 
 // SourcesPerBatch returns the number of concurrent BFSs one batch of the

@@ -1,0 +1,53 @@
+package core
+
+// Direction-decision reasons recorded into the flight record. The tracing
+// layer's acceptance contract is that the recorded per-iteration direction
+// sequence IS the heuristic's actual decision sequence, so the decision
+// and its explanation are computed in one place and the kernels consume
+// both. The strings are constants: recording a reason never allocates.
+const (
+	// Forced policies (Options.Direction != Auto).
+	dirForcedTopDown  = "forced-top-down"
+	dirForcedBottomUp = "forced-bottom-up"
+	// Auto switches: Beamer's growing-frontier and shrinking-frontier
+	// predicates (Section 2.3; GAPBS alpha/beta formulation).
+	dirSwitchBottomUp = "frontier-edges>unexplored/alpha"
+	dirSwitchTopDown  = "frontier-vertices<n/beta"
+	// Auto holds: the switch predicate did not fire.
+	dirStayTopDown  = "top-down-steady"
+	dirStayBottomUp = "bottom-up-steady"
+	// Kernels without a bottom-up phase (iBFS) record this fixed reason.
+	dirTopDownKernel = "top-down-only-kernel"
+)
+
+// decideDirection applies the per-iteration direction policy shared by
+// every direction-optimizing kernel: the forced policies return their
+// fixed direction, and Auto runs the alpha/beta heuristic over the
+// frontier statistics of the previous iteration. It returns the direction
+// the coming iteration must run in plus the reason for that choice.
+//
+// The heuristic is exactly Beamer's: switch top-down→bottom-up when the
+// frontier's out-edges exceed the unexplored edges scaled by 1/alpha
+// (scanning the frontier costs more than scanning the undiscovered
+// remainder), and switch back once the frontier shrinks below n/beta
+// vertices (a sparse frontier makes whole-vertex-set bottom-up scans
+// wasteful).
+func decideDirection(opt Options, bottomUp bool,
+	frontVertices, frontEdges, unexploredEdges int64, n int) (bool, string) {
+	switch opt.Direction {
+	case TopDownOnly:
+		return false, dirForcedTopDown
+	case BottomUpOnly:
+		return true, dirForcedBottomUp
+	}
+	if !bottomUp {
+		if float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
+			return true, dirSwitchBottomUp
+		}
+		return false, dirStayTopDown
+	}
+	if float64(frontVertices) < float64(n)/opt.beta() {
+		return false, dirSwitchTopDown
+	}
+	return true, dirStayBottomUp
+}

@@ -63,7 +63,7 @@ func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *E
 	if k == 0 {
 		return
 	}
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, "ibfs", k, nil)
 	var levels [][]int32
 	if opt.RecordLevels {
 		levels = make([][]int32, k)
@@ -214,9 +214,11 @@ func ibfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *E
 		}
 
 		visited += updated
-		rec.record(int(depth), time.Since(iterStart), nil, int64(len(jfq)), updated, sumCounters(scn), false, nil, nil)
+		rec.record(int(depth), time.Since(iterStart), nil,
+			int64(len(jfq)), updated, sumCounters(scn), visited, false, dirTopDownKernel, nil, nil)
 	}
 
+	rec.finish()
 	res.VisitedStates += visited
 	res.Stats.Merge(metrics.RunStat{Elapsed: time.Since(start), Sources: k, Iterations: rec.stats})
 	if levels != nil {

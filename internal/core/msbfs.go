@@ -57,7 +57,7 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 	if k == 0 {
 		return
 	}
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, "ms-bfs", k, nil)
 	var levels [][]int32
 	if opt.RecordLevels {
 		levels = make([][]int32, k)
@@ -98,6 +98,7 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
+	var dirReason string
 	words := seen.Stride()
 	acc := make([]uint64, words)
 	live := make([]uint64, words)
@@ -128,13 +129,8 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 		}
 		depth++
 		iterStart := time.Now()
-		if opt.Direction == Auto {
-			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
-				bottomUp = true
-			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
-				bottomUp = false
-			}
-		}
+		bottomUp, dirReason = decideDirection(opt, bottomUp,
+			frontVertices, frontEdges, unexploredEdges, n)
 
 		var scanned, updated int64
 		frontVertices, frontEdges = 0, 0
@@ -287,11 +283,13 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 		// Shrink the active mask to BFSs that still have a frontier (same
 		// refinement as MS-PBFS; see the liveBits comment there).
 		copy(activeMask, live)
-		rec.record(int(depth), time.Since(iterStart), nil, frontVertices, updated, scanned, bottomUp, nil, nil)
+		rec.record(int(depth), time.Since(iterStart), nil,
+			frontVertices, updated, scanned, visited, bottomUp, dirReason, nil, nil)
 		nextDirty = bottomUp // bottom-up leaves the old frontier uncleared
 		frontier, next = next, frontier
 	}
 
+	rec.finish()
 	res.VisitedStates += visited
 	res.Stats.Merge(metrics.RunStat{Elapsed: time.Since(start), Sources: k, Iterations: rec.stats})
 	if levels != nil {

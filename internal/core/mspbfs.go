@@ -205,7 +205,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 	if k == 0 {
 		return
 	}
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, "ms-pbfs", k, e.pool)
 	var levels [][]int32
 	if opt.RecordLevels {
 		levels = make([][]int32, k) //bfs:alloc-ok k pointers per batch, not per vertex
@@ -265,6 +265,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
+	var dirReason string
 
 	for frontVertices > 0 {
 		if opt.MaxDepth > 0 && int(depth) >= opt.MaxDepth {
@@ -273,13 +274,8 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		depth++
 		iterStart := time.Now()
 
-		if opt.Direction == Auto {
-			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
-				bottomUp = true
-			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
-				bottomUp = false
-			}
-		}
+		bottomUp, dirReason = decideDirection(opt, bottomUp,
+			frontVertices, frontEdges, unexploredEdges, n)
 
 		resetCounters(e.scanned)
 		resetCounters(e.updated)
@@ -323,7 +319,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		}
 
 		rec.record(int(depth), time.Since(iterStart), busy,
-			frontVertices, updated, sumCounters(e.scanned), bottomUp,
+			frontVertices, updated, sumCounters(e.scanned), visited, bottomUp, dirReason,
 			e.scanned, e.updated)
 
 		frontier, next = next, frontier
@@ -339,6 +335,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		}
 	}
 
+	rec.finish()
 	elapsed := time.Since(start)
 	res.VisitedStates += visited
 	res.Stats.Merge(metrics.RunStat{Elapsed: elapsed, Sources: k, Iterations: rec.stats})

@@ -23,7 +23,7 @@ import (
 func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 	n := g.NumVertices()
 	workers := opt.workers()
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, "queue-bfs", 1, nil)
 	eng := opt.engine()
 	var levels []int32
 	if opt.RecordLevels {
@@ -63,6 +63,7 @@ func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 	bottomUp := opt.Direction == BottomUpOnly
 	denseMode := false
 	depth := int32(0)
+	var dirReason string
 
 	// chunkSize is the number of frontier entries a worker claims at once
 	// (batch removal, Agarwal et al. style).
@@ -71,13 +72,8 @@ func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 	for frontVertices > 0 {
 		depth++
 		iterStart := time.Now()
-		if opt.Direction == Auto {
-			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
-				bottomUp = true
-			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
-				bottomUp = false
-			}
-		}
+		bottomUp, dirReason = decideDirection(opt, bottomUp,
+			frontVertices, frontEdges, unexploredEdges, n)
 
 		var scanned, updated, updatedDeg int64
 		if bottomUp {
@@ -164,9 +160,11 @@ func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 		if unexploredEdges < 0 {
 			unexploredEdges = 0
 		}
-		rec.record(int(depth), time.Since(iterStart), nil, frontVertices, updated, scanned, bottomUp, nil, nil)
+		rec.record(int(depth), time.Since(iterStart), nil,
+			frontVertices, updated, scanned, visited, bottomUp, dirReason, nil, nil)
 	}
 
+	rec.finish()
 	res := &Result{Levels: levels, VisitedVertices: visited}
 	res.Stats = metrics.RunStat{Elapsed: time.Since(start), Sources: 1, Iterations: rec.stats}
 	return res

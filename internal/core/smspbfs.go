@@ -32,6 +32,16 @@ func (r StateRepr) String() string {
 	return "bit"
 }
 
+// algoName is the flight-record kernel label. A constant per variant:
+// the recorder evaluates it even when tracing is off, so it must not
+// build a string.
+func (r StateRepr) algoName() string {
+	if r == ByteState {
+		return "sms-pbfs/byte"
+	}
+	return "sms-pbfs/bit"
+}
+
 // vertexSet abstracts the two dense state representations so one SMS-PBFS
 // implementation serves both variants. All methods mirror the semantics of
 // bitset.Bitmap / bitset.ByteMap.
@@ -193,7 +203,7 @@ func (e *SMSPBFSEngine) Close() {
 // at the start, so Run can be called repeatedly.
 func (e *SMSPBFSEngine) Run(source int) *Result {
 	g, opt, n := e.g, e.opt, e.g.NumVertices()
-	rec := &iterRecorder{opt: opt}
+	rec := newIterRecorder(opt, e.repr.algoName(), 1, e.pool)
 	var levels []int32
 	if opt.RecordLevels {
 		// NoLevel fill doubles as the level row's arena scrub.
@@ -228,6 +238,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
+	var dirReason string
 
 	for frontVertices > 0 {
 		if opt.MaxDepth > 0 && int(depth) >= opt.MaxDepth {
@@ -235,13 +246,8 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		}
 		depth++
 		iterStart := time.Now()
-		if opt.Direction == Auto {
-			if !bottomUp && float64(frontEdges) > float64(unexploredEdges)/opt.alpha() {
-				bottomUp = true
-			} else if bottomUp && float64(frontVertices) < float64(n)/opt.beta() {
-				bottomUp = false
-			}
-		}
+		bottomUp, dirReason = decideDirection(opt, bottomUp,
+			frontVertices, frontEdges, unexploredEdges, n)
 
 		resetCounters(e.scanned)
 		resetCounters(e.updated)
@@ -266,7 +272,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 			unexploredEdges = 0
 		}
 		rec.record(int(depth), time.Since(iterStart), busy,
-			frontVertices, updated, sumCounters(e.scanned), bottomUp,
+			frontVertices, updated, sumCounters(e.scanned), visited, bottomUp, dirReason,
 			e.scanned, e.updated)
 
 		frontier, next = next, frontier
@@ -277,6 +283,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		debugCheckLevels(g, source, levels, "SMS-PBFS")
 	}
 
+	rec.finish()
 	res := &Result{Levels: levels, VisitedVertices: visited, NUMAStats: e.tracker}
 	res.Stats = metrics.RunStat{Elapsed: time.Since(start), Sources: 1, Iterations: rec.stats}
 	return res

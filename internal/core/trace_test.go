@@ -1,0 +1,332 @@
+package core
+
+// Flight-record acceptance tests: the tracing layer must report the
+// direction heuristic's *actual* decisions, not a reconstruction — the
+// per-iteration direction sequence in the trace is asserted against the
+// kernel's own IterationStat stream and against the direction-forcing
+// equivalence suite's graphs and invariants (see direction_test.go).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// tracedAuto runs one single-batch MS-PBFS under Auto with both the
+// tracer and iteration stats on, returning the result and the traversal
+// flight record.
+func tracedAuto(t *testing.T, g *graph.Graph, workers int) (*MultiResult, obs.Traversal) {
+	t.Helper()
+	sources := RandomSources(g, 64, 29)
+	tr := obs.NewTracer()
+	res := MSPBFS(g, sources, Options{
+		Workers:          workers,
+		BatchWords:       1,
+		Direction:        Auto,
+		CollectIterStats: true,
+		Tracer:           tr,
+	})
+	snap := tr.Snapshot()
+	if len(snap.Traversals) != 1 {
+		t.Fatalf("got %d traversals for one 64-source batch, want 1", len(snap.Traversals))
+	}
+	return res, snap.Traversals[0]
+}
+
+// checkReasonConsistency verifies each record's reason is the one the
+// shared decideDirection policy attaches to that direction transition:
+// switches carry the alpha/beta predicate that fired, holds carry the
+// steady reason. prev is the direction before the first recorded
+// iteration (false: Auto starts top-down).
+func checkReasonConsistency(t *testing.T, iters []obs.IterationRecord, ctx string) {
+	t.Helper()
+	prev := false
+	for i, it := range iters {
+		var want string
+		switch {
+		case it.BottomUp && !prev:
+			want = dirSwitchBottomUp
+		case !it.BottomUp && prev:
+			want = dirSwitchTopDown
+		case it.BottomUp:
+			want = dirStayBottomUp
+		default:
+			want = dirStayTopDown
+		}
+		if it.Reason != want {
+			t.Errorf("%s: iteration %d (%s after %v): reason %q, want %q",
+				ctx, i+1, it.Direction(), prev, it.Reason, want)
+		}
+		prev = it.BottomUp
+	}
+}
+
+// TestTraceMatchesIterationStats: the flight record and the kernel's own
+// IterationStat stream must describe the same iterations — same count,
+// same direction sequence, same frontier/next/scanned numbers — because
+// they are recorded at the same program point.
+func TestTraceMatchesIterationStats(t *testing.T) {
+	for gname, g := range directionGraphs() {
+		res, tv := tracedAuto(t, g, 3)
+		stats := res.Stats.Iterations
+		if tv.Algo != "ms-pbfs" || tv.Sources != 64 {
+			t.Errorf("%s: traversal header = %q/%d, want ms-pbfs/64", gname, tv.Algo, tv.Sources)
+		}
+		if len(tv.Iterations) != len(stats) {
+			t.Fatalf("%s: trace has %d iterations, stats have %d",
+				gname, len(tv.Iterations), len(stats))
+		}
+		var lastVisited int64
+		for i, it := range tv.Iterations {
+			st := stats[i]
+			if it.BottomUp != st.BottomUp {
+				t.Errorf("%s iteration %d: trace direction %s, stats bottomUp=%v",
+					gname, i+1, it.Direction(), st.BottomUp)
+			}
+			if it.Iteration != st.Iteration || it.Frontier != st.FrontierVertices ||
+				it.Next != st.UpdatedStates || it.Scanned != st.ScannedEdges {
+				t.Errorf("%s iteration %d: trace (%d,%d,%d,%d) != stats (%d,%d,%d,%d)",
+					gname, i+1, it.Iteration, it.Frontier, it.Next, it.Scanned,
+					st.Iteration, st.FrontierVertices, st.UpdatedStates, st.ScannedEdges)
+			}
+			if it.Visited < lastVisited {
+				t.Errorf("%s iteration %d: visited went backwards (%d -> %d)",
+					gname, i+1, lastVisited, it.Visited)
+			}
+			lastVisited = it.Visited
+			if len(it.WorkerTasks) != 3 || len(it.WorkerSteals) != 3 {
+				t.Errorf("%s iteration %d: per-worker vectors sized %d/%d, want 3/3",
+					gname, i+1, len(it.WorkerTasks), len(it.WorkerSteals))
+			}
+			if it.Tasks() <= 0 {
+				t.Errorf("%s iteration %d: no tasks recorded", gname, i+1)
+			}
+		}
+		if lastVisited != res.VisitedStates {
+			t.Errorf("%s: final traced visited %d != result %d",
+				gname, lastVisited, res.VisitedStates)
+		}
+		checkReasonConsistency(t, tv.Iterations, gname)
+		// The dense Kronecker core is the graph where Auto actually
+		// switches; a trace that never saw bottom-up there means the
+		// tracer is not wired to the real decision.
+		if gname == "kron" {
+			sawBottomUp := false
+			for _, it := range tv.Iterations {
+				sawBottomUp = sawBottomUp || it.BottomUp
+			}
+			if !sawBottomUp {
+				t.Errorf("kron: auto trace never switched to bottom-up")
+			}
+		}
+	}
+}
+
+// TestTraceForcedDirections: forced policies record the forced reason on
+// every iteration and the forced direction throughout.
+func TestTraceForcedDirections(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(10, 3))
+	sources := RandomSources(g, 64, 29)
+	for _, tc := range []struct {
+		dir    Direction
+		wantBU bool
+		reason string
+	}{
+		{TopDownOnly, false, dirForcedTopDown},
+		{BottomUpOnly, true, dirForcedBottomUp},
+	} {
+		tr := obs.NewTracer()
+		MSPBFS(g, sources, Options{Workers: 2, BatchWords: 1, Direction: tc.dir, Tracer: tr})
+		snap := tr.Snapshot()
+		if len(snap.Traversals) != 1 {
+			t.Fatalf("direction %d: %d traversals, want 1", tc.dir, len(snap.Traversals))
+		}
+		for i, it := range snap.Traversals[0].Iterations {
+			if it.BottomUp != tc.wantBU || it.Reason != tc.reason {
+				t.Errorf("direction %d iteration %d: %s/%q, want bottomUp=%v reason=%q",
+					tc.dir, i+1, it.Direction(), it.Reason, tc.wantBU, tc.reason)
+			}
+		}
+	}
+}
+
+// TestTraceDirectionEquivalenceSuite ties the trace to the
+// direction-forcing equivalence invariant: the traced Auto run must
+// discover exactly the same levels as the forced runs (tracing must not
+// perturb the traversal), on the same graphs direction_test.go pins.
+func TestTraceDirectionEquivalenceSuite(t *testing.T) {
+	for gname, g := range directionGraphs() {
+		sources := RandomSources(g, 64, 31)
+		base := Options{Workers: 3, BatchWords: 1, RecordLevels: true}
+
+		tdOpt := base
+		tdOpt.Direction = TopDownOnly
+		td := MSPBFS(g, sources, tdOpt)
+
+		tr := obs.NewTracer()
+		autoOpt := base
+		autoOpt.Direction = Auto
+		autoOpt.Tracer = tr
+		auto := MSPBFS(g, sources, autoOpt)
+
+		for i, s := range sources {
+			assertLevels(t, td.Levels[i], auto.Levels[i],
+				fmt.Sprintf("%s source %d traced-auto vs top-down", gname, s))
+		}
+		if td.VisitedStates != auto.VisitedStates {
+			t.Errorf("%s: visited states td=%d traced-auto=%d",
+				gname, td.VisitedStates, auto.VisitedStates)
+		}
+		snap := tr.Snapshot()
+		if len(snap.Traversals) != 1 || len(snap.Traversals[0].Iterations) == 0 {
+			t.Fatalf("%s: traced auto run produced no flight record", gname)
+		}
+		checkReasonConsistency(t, snap.Traversals[0].Iterations, gname)
+	}
+}
+
+// TestTraceKroneckerScale20 is the acceptance run: a Kronecker scale-20
+// traversal's flight record must carry the heuristic's actual decision
+// sequence (asserted against an identically-seeded untraced run's
+// IterationStats and the forced-direction equivalence invariant), and
+// its Chrome export must be valid trace-event JSON.
+func TestTraceKroneckerScale20(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-20 graph generation is too slow for -short")
+	}
+	g := gen.Kronecker(gen.Graph500Params(20, 3))
+	sources := RandomSources(g, 64, 29)
+	workers := runtime.GOMAXPROCS(0)
+	base := Options{Workers: workers, BatchWords: 1}
+
+	// Untraced control run: the heuristic's decisions observed through
+	// the pre-existing stats channel.
+	ctlOpt := base
+	ctlOpt.Direction = Auto
+	ctlOpt.CollectIterStats = true
+	ctl := MSPBFS(g, sources, ctlOpt)
+
+	tr := obs.NewTracer()
+	opt := base
+	opt.Direction = Auto
+	opt.Tracer = tr
+	res := MSPBFS(g, sources, opt)
+
+	snap := tr.Snapshot()
+	if len(snap.Traversals) != 1 {
+		t.Fatalf("got %d traversals, want 1", len(snap.Traversals))
+	}
+	tv := snap.Traversals[0]
+	stats := ctl.Stats.Iterations
+	if len(tv.Iterations) != len(stats) {
+		t.Fatalf("trace has %d iterations, control run has %d", len(tv.Iterations), len(stats))
+	}
+	sawBottomUp := false
+	for i, it := range tv.Iterations {
+		if it.BottomUp != stats[i].BottomUp {
+			t.Errorf("iteration %d: traced %s, control bottomUp=%v",
+				i+1, it.Direction(), stats[i].BottomUp)
+		}
+		if it.Frontier != stats[i].FrontierVertices || it.Next != stats[i].UpdatedStates {
+			t.Errorf("iteration %d: traced frontier/next %d/%d, control %d/%d",
+				i+1, it.Frontier, it.Next, stats[i].FrontierVertices, stats[i].UpdatedStates)
+		}
+		sawBottomUp = sawBottomUp || it.BottomUp
+	}
+	if !sawBottomUp {
+		t.Error("scale-20 Kronecker auto run never went bottom-up")
+	}
+	checkReasonConsistency(t, tv.Iterations, "kron-20")
+	if res.VisitedStates != ctl.VisitedStates {
+		t.Errorf("traced visited %d != control %d", res.VisitedStates, ctl.VisitedStates)
+	}
+
+	// The emitted Chrome trace must parse and carry the iterations.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < len(tv.Iterations) {
+		t.Errorf("Chrome export has %d events for %d iterations",
+			len(parsed.TraceEvents), len(tv.Iterations))
+	}
+}
+
+// TestTracePerCoreMSBFS: the "one sequential instance per core" execution
+// model opens concurrent flight records on one tracer; every batch must
+// land, with the single-threaded kernels recording no worker vectors.
+func TestTracePerCoreMSBFS(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 5))
+	sources := RandomSources(g, 256, 17)
+	tr := obs.NewTracer()
+	MSBFSPerCore(g, sources, Options{Workers: 4, BatchWords: 1, Tracer: tr})
+	snap := tr.Snapshot()
+	if len(snap.Traversals) != 4 {
+		t.Fatalf("got %d traversals for 4 batches, want 4", len(snap.Traversals))
+	}
+	for _, tv := range snap.Traversals {
+		if tv.Algo != "ms-bfs" {
+			t.Errorf("algo = %q, want ms-bfs", tv.Algo)
+		}
+		for _, it := range tv.Iterations {
+			if it.WorkerTasks != nil {
+				t.Errorf("sequential kernel recorded worker vectors")
+			}
+		}
+	}
+}
+
+// TestTraceSingleSourceKernels: every kernel variant publishes a usable
+// flight record under its own label.
+func TestTraceSingleSourceKernels(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 5))
+	tr := obs.NewTracer()
+	SMSPBFS(g, 1, BitState, Options{Workers: 2, Tracer: tr})
+	SMSPBFS(g, 1, ByteState, Options{Workers: 2, Tracer: tr})
+	QueueBFS(g, 1, Options{Workers: 2, Tracer: tr})
+	Beamer(g, 1, BeamerGAPBS, Options{Tracer: tr})
+	IBFS(g, []int{1, 2, 3}, Options{Workers: 2, Tracer: tr})
+
+	snap := tr.Snapshot()
+	want := map[string]bool{
+		"sms-pbfs/bit": false, "sms-pbfs/byte": false, "queue-bfs": false,
+		"beamer/gapbs": false, "ibfs": false,
+	}
+	for _, tv := range snap.Traversals {
+		if _, ok := want[tv.Algo]; !ok {
+			t.Errorf("unexpected algo label %q", tv.Algo)
+			continue
+		}
+		want[tv.Algo] = true
+		if len(tv.Iterations) == 0 {
+			t.Errorf("%s: empty flight record", tv.Algo)
+		}
+		if tv.Algo == "ibfs" {
+			for _, it := range tv.Iterations {
+				if it.Reason != dirTopDownKernel {
+					t.Errorf("ibfs reason = %q, want %q", it.Reason, dirTopDownKernel)
+				}
+			}
+		}
+	}
+	for algo, seen := range want {
+		if !seen {
+			t.Errorf("no flight record for %s", algo)
+		}
+	}
+}

@@ -155,3 +155,64 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 		t.Errorf("bucket total = %d, want %d", total, goroutines*per)
 	}
 }
+
+// TestHistogramConcurrentMerge merges per-worker histograms into a shared
+// one while the workers are still recording into them — the serving
+// layer's scrape-during-traffic pattern. Totals must come out exact and
+// the race detector must stay quiet.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const workers, per, rounds = 8, 2000, 4
+	locals := make([]Histogram, workers)
+	var merged Histogram
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				locals[w].Record(int64(r.Intn(1 << 20)))
+			}
+		}(w)
+	}
+	// Racing merges: snapshots are weakly consistent while recording is in
+	// flight, so only the final (post-wait) merge is checked for totals.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var scratch Histogram
+		for i := 0; i < rounds; i++ {
+			for w := range locals {
+				scratch.Merge(&locals[w])
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var wantCount, wantSum, wantMax int64
+	for w := range locals {
+		wantCount += locals[w].Count()
+		wantSum += locals[w].Sum()
+		if m := locals[w].Max(); m > wantMax {
+			wantMax = m
+		}
+		merged.Merge(&locals[w])
+	}
+	if wantCount != workers*per {
+		t.Fatalf("lost records: %d, want %d", wantCount, workers*per)
+	}
+	if merged.Count() != wantCount || merged.Sum() != wantSum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d",
+			merged.Count(), merged.Sum(), wantCount, wantSum)
+	}
+	if merged.Max() != wantMax {
+		t.Fatalf("merged max = %d, want %d", merged.Max(), wantMax)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := merged.Quantile(q); v < 0 || v > merged.Max() {
+			t.Fatalf("q=%.2f out of range: %d", q, v)
+		}
+	}
+}

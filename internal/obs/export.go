@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteText renders the snapshot as a human-readable per-iteration table,
+// the shape of the paper's Figure 6 discussion: one row per BFS level
+// with direction, switch reason, frontier sizes, and work-stealing
+// balance. Nil-safe: a nil tracer writes an "empty" marker.
+func (t *Tracer) WriteText(w io.Writer) error {
+	snap := t.Snapshot()
+	if len(snap.Traversals) == 0 && len(snap.Spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: empty")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "trace: %d traversals, %d spans (dropped %d/%d)\n",
+		len(snap.Traversals), len(snap.Spans),
+		snap.DroppedTraversals, snap.DroppedSpans); err != nil {
+		return err
+	}
+	for _, s := range snap.Spans {
+		if _, err := fmt.Fprintf(w, "span %-16s %10s  %s\n",
+			s.Name, fmtDur(s.Duration), s.Detail); err != nil {
+			return err
+		}
+	}
+	for i := range snap.Traversals {
+		if err := writeTraversalText(w, &snap.Traversals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTraversalText(w io.Writer, tv *Traversal) error {
+	if _, err := fmt.Fprintf(w, "\ntraversal #%d %s sources=%d total=%s arena=%d hit/%d miss\n",
+		tv.ID, tv.Algo, tv.Sources, fmtDur(tv.End.Sub(tv.Start)),
+		tv.ArenaHits, tv.ArenaMisses); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\t")
+	for _, it := range tv.Iterations {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t\n",
+			it.Iteration, it.Direction(), it.Reason,
+			it.Frontier, it.Next, it.Scanned, it.Visited,
+			fmtDur(it.Duration), it.Tasks(), it.Steals())
+	}
+	return tw.Flush()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	}
+}
+
+// chromeEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// chrome://tracing and Perfetto load). Only the complete-event ("X") and
+// metadata ("M") phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace origin
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// WriteChromeTrace exports the snapshot in Chrome trace-event JSON.
+// Spans render on tid 0; each traversal gets its own tid carrying one
+// enclosing event plus one event per BFS iteration, with the direction
+// decision, frontier counts, and per-worker task/steal vectors in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	snap := t.Snapshot()
+	events := []chromeEvent{
+		meta("process_name", 0, map[string]any{"name": "bfs"}),
+		meta("thread_name", 0, map[string]any{"name": "spans"}),
+	}
+	for _, s := range snap.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			Ts: micros(s.Start.Sub(snap.Origin)), Dur: micros(s.Duration),
+			Pid: chromePid, Tid: 0,
+			Args: map[string]any{"detail": s.Detail},
+		})
+	}
+	for i := range snap.Traversals {
+		events = appendTraversalEvents(events, &snap.Traversals[i], snap.Origin)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func appendTraversalEvents(events []chromeEvent, tv *Traversal, origin time.Time) []chromeEvent {
+	tid := int64(tv.ID)
+	events = append(events,
+		meta("thread_name", tid, map[string]any{
+			"name": fmt.Sprintf("traversal %d: %s", tv.ID, tv.Algo),
+		}),
+		chromeEvent{
+			Name: tv.Algo, Cat: "traversal", Ph: "X",
+			Ts: micros(tv.Start.Sub(origin)), Dur: micros(tv.End.Sub(tv.Start)),
+			Pid: chromePid, Tid: tid,
+			Args: map[string]any{
+				"sources":      tv.Sources,
+				"iterations":   len(tv.Iterations),
+				"arena_hits":   tv.ArenaHits,
+				"arena_misses": tv.ArenaMisses,
+			},
+		})
+	// Iterations are laid out back to back from the traversal start;
+	// the kernels time iterations individually, so cumulative offsets
+	// reconstruct the timeline.
+	off := tv.Start.Sub(origin)
+	for _, it := range tv.Iterations {
+		args := map[string]any{
+			"iteration": it.Iteration,
+			"direction": it.Direction(),
+			"reason":    it.Reason,
+			"frontier":  it.Frontier,
+			"next":      it.Next,
+			"scanned":   it.Scanned,
+			"visited":   it.Visited,
+		}
+		if it.WorkerTasks != nil {
+			args["tasks"] = it.Tasks()
+			args["steals"] = it.Steals()
+			args["tasks_per_worker"] = it.WorkerTasks
+			args["steals_per_worker"] = it.WorkerSteals
+		}
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("L%d %s", it.Iteration, it.Direction()),
+			Cat:  "iteration", Ph: "X",
+			Ts: micros(off), Dur: micros(it.Duration),
+			Pid: chromePid, Tid: tid,
+			Args: args,
+		})
+		off += it.Duration
+	}
+	return events
+}
+
+func meta(name string, tid int64, args map[string]any) chromeEvent {
+	return chromeEvent{Name: name, Ph: "M", Pid: chromePid, Tid: tid, Args: args}
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,312 @@
+// Package obs is the traversal tracing layer: a stdlib-only flight
+// recorder that captures one record per BFS iteration — direction and the
+// heuristic's reason for it, frontier/next/visited counts, wall time,
+// per-worker task and steal counts, and engine arena hit/miss deltas —
+// plus span-style timing for coarse phases (CSR build, relabel, coalescer
+// flush).
+//
+// The package is built around one invariant: tracing disabled is free.
+// Every entry point is safe to call through a nil *Tracer or nil
+// *Traversal receiver and returns immediately without allocating, so the
+// kernels can thread tracer calls unconditionally and pay a single
+// pointer test per iteration when no one is listening. The hotalloc vet
+// pass's tracezero rule enforces that callers inside //bfs:hot loops keep
+// that shape.
+//
+// obs deliberately imports nothing from the rest of the repo (no sched,
+// no core): producers push plain counters and pre-computed deltas in, so
+// the dependency arrow points one way and the package stays reusable from
+// both the internal engine and the public API.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Default retention bounds. A Tracer is a bounded flight recorder, not an
+// unbounded event log: when full, the oldest completed records are
+// dropped and counted.
+const (
+	DefaultMaxTraversals = 256
+	DefaultMaxSpans      = 1024
+)
+
+// IterationRecord is one BFS iteration's flight-record entry. All counts
+// are in (vertex, source) states for multi-source kernels and plain
+// vertices for single-source ones — the same accounting the kernels'
+// IterationStat uses.
+type IterationRecord struct {
+	// Iteration is the BFS depth of this iteration (1-based, matching
+	// the level assigned to vertices discovered in it).
+	Iteration int `json:"iteration"`
+	// BottomUp records the direction the iteration ran in.
+	BottomUp bool `json:"bottom_up"`
+	// Reason says why the direction heuristic chose that direction
+	// (one of the core package's decision constants, e.g.
+	// "frontier-edges>unexplored/alpha" at a top-down→bottom-up switch).
+	Reason string `json:"reason"`
+	// Frontier is the number of frontier states entering the iteration.
+	Frontier int64 `json:"frontier"`
+	// Next is the number of next-frontier states the iteration produced.
+	Next int64 `json:"next"`
+	// Scanned is the number of edges scanned.
+	Scanned int64 `json:"scanned"`
+	// Visited is the cumulative number of visited states after the
+	// iteration completed.
+	Visited int64 `json:"visited"`
+	// Duration is the iteration's wall time.
+	Duration time.Duration `json:"duration_ns"`
+	// WorkerTasks and WorkerSteals are per-worker deltas over the
+	// iteration: tasks fetched, and of those, tasks stolen from another
+	// worker's queue. Nil when the kernel runs without a worker pool.
+	WorkerTasks  []int64 `json:"worker_tasks,omitempty"`
+	WorkerSteals []int64 `json:"worker_steals,omitempty"`
+}
+
+// Direction renders the direction as the paper's terminology.
+func (r IterationRecord) Direction() string {
+	if r.BottomUp {
+		return "bottom-up"
+	}
+	return "top-down"
+}
+
+// Tasks sums the per-worker task counts.
+func (r IterationRecord) Tasks() int64 { return sumInt64(r.WorkerTasks) }
+
+// Steals sums the per-worker steal counts.
+func (r IterationRecord) Steals() int64 { return sumInt64(r.WorkerSteals) }
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Traversal is the flight record of one BFS run. It is produced by a
+// single goroutine (the kernel driving the traversal) and published to
+// its Tracer on Finish; until then the Tracer does not see it.
+type Traversal struct {
+	// ID is the tracer-unique traversal id (1-based).
+	ID uint64 `json:"id"`
+	// Algo names the kernel ("ms-pbfs", "beamer/gapbs", ...).
+	Algo string `json:"algo"`
+	// Sources is the batch width (1 for single-source kernels).
+	Sources int `json:"sources"`
+	// Start and End bound the traversal's wall time.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// ArenaHits and ArenaMisses are the engine state-arena checkout
+	// deltas over the traversal: how many pooled arenas were reused vs
+	// freshly allocated while it ran. They are tracer-wide counters
+	// diffed at Start/Finish, so concurrent traversals on one engine
+	// attribute each other's checkouts; single-traversal runs read
+	// exactly their own.
+	ArenaHits   uint64 `json:"arena_hits"`
+	ArenaMisses uint64 `json:"arena_misses"`
+	// Iterations holds one record per BFS iteration, in order.
+	Iterations []IterationRecord `json:"iterations"`
+
+	t                    *Tracer
+	baseHits, baseMisses uint64
+}
+
+// SetArenaBase snapshots the engine arena counters at traversal start;
+// Finish diffs against it. Nil-safe no-op.
+func (tr *Traversal) SetArenaBase(hits, misses uint64) {
+	if tr == nil {
+		return
+	}
+	tr.baseHits, tr.baseMisses = hits, misses
+}
+
+// Record appends one iteration record. Nil-safe no-op. Must be called
+// from the traversal's own goroutine (it is not synchronized).
+func (tr *Traversal) Record(rec IterationRecord) {
+	if tr == nil {
+		return
+	}
+	tr.Iterations = append(tr.Iterations, rec)
+}
+
+// Finish stamps the end time, computes arena deltas against the base
+// snapshot, and publishes the traversal to its tracer. Nil-safe no-op.
+func (tr *Traversal) Finish(hits, misses uint64) {
+	if tr == nil {
+		return
+	}
+	tr.End = time.Now()
+	tr.ArenaHits = hits - tr.baseHits
+	tr.ArenaMisses = misses - tr.baseMisses
+	tr.t.publish(tr)
+}
+
+// Span is one completed coarse-phase timing (CSR build, relabel,
+// coalescer flush, ...).
+type Span struct {
+	Name     string        `json:"name"`
+	Detail   string        `json:"detail,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// SpanHandle is an open span; End completes and publishes it.
+type SpanHandle struct {
+	t *Tracer
+	s Span
+}
+
+// End completes the span and publishes it to the tracer. Nil-safe no-op.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.s.Duration = time.Since(h.s.Start)
+	h.t.publish2(h.s)
+}
+
+// Tracer collects completed traversals and spans under bounded
+// retention. The zero value is not usable; use NewTracer. A nil *Tracer
+// is the disabled state: every method returns immediately.
+//
+// Tracer is safe for concurrent use — kernels running per-core batches
+// call StartTraversal/Finish from many goroutines at once.
+type Tracer struct {
+	origin time.Time
+
+	mu                sync.Mutex
+	nextID            uint64
+	maxTraversals     int
+	maxSpans          int
+	traversals        []*Traversal
+	spans             []Span
+	droppedTraversals uint64
+	droppedSpans      uint64
+}
+
+// NewTracer returns a tracer with the default retention bounds.
+func NewTracer() *Tracer {
+	return NewTracerCap(DefaultMaxTraversals, DefaultMaxSpans)
+}
+
+// NewTracerCap returns a tracer retaining at most maxTraversals completed
+// traversals and maxSpans completed spans (<=0 selects the defaults).
+// When a bound is hit the oldest record is dropped and counted.
+func NewTracerCap(maxTraversals, maxSpans int) *Tracer {
+	if maxTraversals <= 0 {
+		maxTraversals = DefaultMaxTraversals
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{
+		origin:        time.Now(),
+		maxTraversals: maxTraversals,
+		maxSpans:      maxSpans,
+	}
+}
+
+// Enabled reports whether the tracer is collecting (i.e. non-nil). The
+// kernels' fast path is the equivalent inline nil test.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartTraversal opens a flight record for one BFS run. Returns nil (the
+// disabled traversal) when t is nil.
+func (t *Tracer) StartTraversal(algo string, sources int) *Traversal {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Traversal{
+		ID:      id,
+		Algo:    algo,
+		Sources: sources,
+		Start:   time.Now(),
+		t:       t,
+	}
+}
+
+// StartSpan opens a coarse-phase span. Returns nil when t is nil.
+func (t *Tracer) StartSpan(name, detail string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{t: t, s: Span{Name: name, Detail: detail, Start: time.Now()}}
+}
+
+func (t *Tracer) publish(tr *Traversal) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.traversals) >= t.maxTraversals {
+		drop := len(t.traversals) - t.maxTraversals + 1
+		t.traversals = append(t.traversals[:0], t.traversals[drop:]...)
+		t.droppedTraversals += uint64(drop)
+	}
+	t.traversals = append(t.traversals, tr)
+}
+
+func (t *Tracer) publish2(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.maxSpans {
+		drop := len(t.spans) - t.maxSpans + 1
+		t.spans = append(t.spans[:0], t.spans[drop:]...)
+		t.droppedSpans += uint64(drop)
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Trace is an immutable snapshot of a tracer's retained records.
+type Trace struct {
+	// Origin is the tracer's creation time (the Chrome export's ts=0).
+	Origin time.Time `json:"origin"`
+	// Traversals and Spans are ordered oldest-first.
+	Traversals []Traversal `json:"traversals"`
+	Spans      []Span      `json:"spans"`
+	// DroppedTraversals and DroppedSpans count records evicted by the
+	// retention bounds.
+	DroppedTraversals uint64 `json:"dropped_traversals,omitempty"`
+	DroppedSpans      uint64 `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot copies the retained records out. Nil-safe: returns a zero
+// Trace when t is nil.
+func (t *Tracer) Snapshot() Trace {
+	if t == nil {
+		return Trace{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := Trace{
+		Origin:            t.origin,
+		Traversals:        make([]Traversal, len(t.traversals)),
+		Spans:             append([]Span(nil), t.spans...),
+		DroppedTraversals: t.droppedTraversals,
+		DroppedSpans:      t.droppedSpans,
+	}
+	for i, tv := range t.traversals {
+		cp := *tv
+		cp.t = nil
+		tr.Traversals[i] = cp
+	}
+	return tr
+}
+
+// Reset discards all retained records (IDs keep increasing). Nil-safe.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traversals = nil
+	t.spans = nil
+	t.droppedTraversals = 0
+	t.droppedSpans = 0
+}

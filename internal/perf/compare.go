@@ -28,6 +28,12 @@ const (
 // scenarios with inherent queueing or allocator noise get wider gates.
 func Threshold(name string) float64 {
 	switch {
+	case name == "obs/nil-tracer":
+		// The observability acceptance gate: dormant tracing hooks must stay
+		// within 2% of the committed baseline. Tighter than the default on
+		// purpose — the nil-guard fast path is a single predicted branch, so
+		// any real movement here means a hook leaked onto the hot path.
+		return 0.02
 	case name == "server/coalescer":
 		// Closed-loop queueing: batch formation is timing-sensitive, so
 		// medians wander more than the pure kernels.

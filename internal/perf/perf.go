@@ -160,6 +160,7 @@ func Scenarios() []Scenario {
 		{"server/coalescer", "in-process query coalescer, closed-loop clients", UnitQueries, runCoalescer},
 		{"engine/reuse", "coalescer load on a warm persistent engine", UnitQueries, runEngineReuse},
 		{"engine/coldstart", "coalescer load on a fresh engine per repetition", UnitQueries, runEngineColdStart},
+		{"obs/nil-tracer", "MS-PBFS auto with tracing hooks disabled (nil tracer)", UnitEdgesTraversed, runObsNilTracer},
 	}
 }
 

@@ -95,6 +95,20 @@ func runMSPBFSTopDown(e *suiteEnv) Sample  { return runMSPBFSDirection(e, core.T
 func runMSPBFSBottomUp(e *suiteEnv) Sample { return runMSPBFSDirection(e, core.BottomUpOnly) }
 func runMSPBFSAuto(e *suiteEnv) Sample     { return runMSPBFSDirection(e, core.Auto) }
 
+// runObsNilTracer is mspbfs/auto with the tracing hooks explicitly disabled
+// (nil Tracer). Every kernel now carries per-iteration trace calls behind a
+// nil guard; this scenario pins the cost of those dormant hooks against the
+// committed baseline with the suite's tightest gate (2%) — the tracing layer
+// must be free when it is off.
+func runObsNilTracer(e *suiteEnv) Sample {
+	opt := e.traversalOpts()
+	opt.Direction = core.Auto
+	opt.Tracer = nil
+	return runMulti(e, func() *core.MultiResult {
+		return core.MSPBFS(e.g, e.sources, opt)
+	})
+}
+
 func runSMSPBFS(e *suiteEnv, repr core.StateRepr) Sample {
 	opt := e.traversalOpts()
 	return runSingle(e, func() *core.Result {

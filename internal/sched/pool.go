@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,12 @@ type Pool struct {
 	// owning worker between phases).
 	busy []time.Duration
 
+	// counts accumulates per-worker task/steal totals across phases.
+	// Unlike busy, these are atomics: the tracing layer snapshots them
+	// between iterations while no phase runs, but resetting from the
+	// driver must not race a late worker in a prior pool lifetime.
+	counts []taskCounter
+
 	// panics is the reusable worker-panic hand-off, drained at the end of
 	// every phase, and done is the reusable phase barrier (a WaitGroup is
 	// reusable once Wait has returned). One of each per pool (not per
@@ -32,6 +39,15 @@ type Pool struct {
 	done   sync.WaitGroup
 
 	closed bool
+}
+
+// taskCounter is one worker's fetched-task accounting, padded so
+// neighboring workers' increments do not share a cache line (the same
+// layout trick the kernels' padCounter uses).
+type taskCounter struct {
+	tasks  atomic.Int64
+	steals atomic.Int64
+	_      [48]byte
 }
 
 // phaseJob is one parallel phase: every worker runs the loop body over
@@ -55,6 +71,7 @@ func NewPool(workers int, lockThreads bool) *Pool {
 		workers: workers,
 		jobs:    make([]chan phaseJob, workers),
 		busy:    make([]time.Duration, workers),
+		counts:  make([]taskCounter, workers),
 		panics:  make(chan any, 1),
 	}
 	for w := 0; w < workers; w++ {
@@ -86,12 +103,24 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 				}
 			}()
 			offsetHint := 0
+			ctr := &p.counts[workerID]
+			nq := job.tq.NumWorkers()
 			if job.steal {
 				//bfs:hot steal loop: one atomic fetch per task, must not allocate
 				for {
 					rg, ok := job.tq.Fetch(workerID, &offsetHint)
 					if !ok {
 						break
+					}
+					ctr.tasks.Add(1)
+					// Within a phase the queue cursors only advance, so
+					// the worker's own queue never refills once the hint
+					// moved past it: a successful fetch is a steal iff
+					// the hint points away from slot 0 (both the
+					// round-robin and SetStealOrder layouts put the
+					// worker's own queue at hint offset 0).
+					if offsetHint%nq != 0 {
+						ctr.steals.Add(1)
 					}
 					job.body(workerID, rg)
 				}
@@ -102,6 +131,7 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 					if !ok {
 						break
 					}
+					ctr.tasks.Add(1)
 					job.body(workerID, rg)
 				}
 			}
@@ -171,6 +201,33 @@ func (p *Pool) Busy() []time.Duration {
 	out := make([]time.Duration, len(p.busy))
 	copy(out, p.busy)
 	return out
+}
+
+// TaskCounts appends each worker's cumulative fetched-task count (since
+// pool creation or the last ResetTaskCounts) to dst and returns it. Call
+// between phases; a snapshot taken mid-phase is merely approximate.
+func (p *Pool) TaskCounts(dst []int64) []int64 {
+	for i := range p.counts {
+		dst = append(dst, p.counts[i].tasks.Load())
+	}
+	return dst
+}
+
+// StealCounts appends each worker's cumulative steal count — tasks
+// fetched from another worker's queue — to dst and returns it.
+func (p *Pool) StealCounts(dst []int64) []int64 {
+	for i := range p.counts {
+		dst = append(dst, p.counts[i].steals.Load())
+	}
+	return dst
+}
+
+// ResetTaskCounts zeroes the task/steal counters.
+func (p *Pool) ResetTaskCounts() {
+	for i := range p.counts {
+		p.counts[i].tasks.Store(0)
+		p.counts[i].steals.Store(0)
+	}
 }
 
 // Close shuts the workers down. The pool must not be used afterwards.

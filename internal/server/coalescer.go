@@ -18,10 +18,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	msbfs "repro"
+	"repro/internal/obs"
 )
 
 // Runner is the traversal capability the coalescer needs from a graph. It
@@ -78,6 +80,7 @@ type Answer struct {
 	BatchWidth int           // sources in the batch that served this request
 	Wait       time.Duration // time spent queued before the batch ran
 	Run        time.Duration // traversal time of the serving batch
+	TraceID    uint64        // flight-recorder correlation id; 0 when untraced
 }
 
 // Coalescer errors. The HTTP layer maps ErrQueueFull to 429 + Retry-After,
@@ -115,6 +118,18 @@ type Config struct {
 	// Registry wires its per-daemon engine here; nil falls back to the
 	// library's shared default engine.
 	Engine *msbfs.Engine
+	// Graph labels this coalescer's flight records and spans; the
+	// Registry sets it to the graph's registered name.
+	Graph string
+	// Recorder receives one flight record per admitted or rejected
+	// request and issues their trace IDs; nil disables flight recording
+	// (trace IDs are then 0).
+	Recorder *FlightRecorder
+	// Tracer records a span around every batch flush; nil disables.
+	Tracer *obs.Tracer
+	// Logger receives slow-query warnings (one line per request the
+	// Recorder classifies as slow); nil disables.
+	Logger *slog.Logger
 }
 
 func (c Config) normalize() Config {
@@ -147,6 +162,7 @@ type pendingReq struct {
 	ctx      context.Context
 	done     chan outcome
 	enqueued time.Time
+	traceID  uint64
 }
 
 type outcome struct {
@@ -227,7 +243,8 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 	if err := c.validate(q); err != nil {
 		return Answer{}, err
 	}
-	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: c.clk.Now()}
+	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: c.clk.Now(),
+		traceID: c.cfg.Recorder.NextTraceID()}
 
 	c.mu.Lock()
 	if c.closed {
@@ -237,6 +254,10 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 	if len(c.pending) >= c.cfg.MaxPending {
 		c.mu.Unlock()
 		c.met.Rejected.Add(1)
+		c.cfg.Recorder.Record(RequestRecord{
+			TraceID: p.traceID, Graph: c.cfg.Graph, Kind: string(q.Kind),
+			Source: q.Source, Status: "rejected", Start: p.enqueued,
+		})
 		return Answer{}, ErrQueueFull
 	}
 	c.met.Requests.Add(1)
@@ -341,6 +362,12 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 	for _, p := range batch {
 		if err := p.ctx.Err(); err != nil {
 			p.done <- outcome{err: err}
+			wait := now.Sub(p.enqueued)
+			c.cfg.Recorder.Record(RequestRecord{
+				TraceID: p.traceID, Graph: c.cfg.Graph, Kind: string(p.q.Kind),
+				Source: p.q.Source, Status: "canceled", Start: p.enqueued,
+				WaitMicros: wait.Microseconds(), TotalMicros: wait.Microseconds(),
+			})
 			continue
 		}
 		live = append(live, p)
@@ -396,6 +423,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 		accs[w] = make([]slotAcc, len(live))
 	}
 
+	sp := c.cfg.Tracer.StartSpan("coalescer-flush", c.cfg.Graph)
 	res := c.g.MultiBFSVisitor(sources, opt, func(workerID, sourceIdx, vertex, depth int) {
 		a := &accs[workerID][sourceIdx]
 		a.sum += int64(depth)
@@ -413,6 +441,8 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 		}
 	})
 
+	sp.End()
+
 	c.met.Batches.Add(1)
 	c.met.Sources.Add(int64(len(live)))
 	c.met.BatchWidth.Record(int64(len(live)))
@@ -421,6 +451,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 		c.met.Edges.Add(c.edges(sources))
 	}
 
+	end := c.clk.Now()
 	n := c.g.NumVertices()
 	for i, p := range live {
 		var total slotAcc
@@ -439,6 +470,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 			BatchWidth:   len(live),
 			Wait:         now.Sub(p.enqueued),
 			Run:          res.Elapsed,
+			TraceID:      p.traceID,
 		}
 		switch p.q.Kind {
 		case KindBFS:
@@ -457,6 +489,23 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 			ans.Count = total.inHops
 		}
 		p.done <- outcome{a: ans}
+
+		c.met.QueueWait.RecordDuration(ans.Wait)
+		c.met.Exec.RecordDuration(res.Elapsed)
+		fr := RequestRecord{
+			TraceID: p.traceID, Graph: c.cfg.Graph, Kind: string(p.q.Kind),
+			Source: p.q.Source, Status: "ok", Start: p.enqueued,
+			WaitMicros:  ans.Wait.Microseconds(),
+			RunMicros:   res.Elapsed.Microseconds(),
+			TotalMicros: end.Sub(p.enqueued).Microseconds(),
+			BatchWidth:  len(live),
+		}
+		if c.cfg.Recorder.Record(fr) && c.cfg.Logger != nil {
+			c.cfg.Logger.Warn("slow query",
+				"trace_id", fr.TraceID, "graph", fr.Graph, "kind", fr.Kind,
+				"source", fr.Source, "wait_us", fr.WaitMicros, "run_us", fr.RunMicros,
+				"total_us", fr.TotalMicros, "batch_width", fr.BatchWidth)
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	rtrace "runtime/trace"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DebugHandler is bfsd's opt-in debug surface, served on a separate
+// listener (the -debug-addr flag) so it is never exposed where the query
+// endpoints are:
+//
+//	GET  /debug/pprof/            pprof index (heap, goroutine, ...)
+//	GET  /debug/pprof/profile     CPU profile
+//	GET  /debug/pprof/trace       runtime execution trace (seconds=N)
+//	GET  /debug/flightrecorder    recent requests + slow-query log + spans
+//	POST /debug/rtrace/start      start an open-ended runtime/trace capture
+//	POST /debug/rtrace/stop       stop it and download the trace binary
+//
+// The rtrace pair exists alongside /debug/pprof/trace for captures whose
+// duration is not known up front: start before reproducing a problem,
+// stop after it happened.
+type DebugHandler struct {
+	reg *Registry
+	mux *http.ServeMux
+
+	mu      sync.Mutex   // guards the runtime/trace capture state
+	tracing bool         // a capture is running; buf belongs to the runtime
+	buf     bytes.Buffer // capture output; read only after rtrace.Stop
+}
+
+// NewDebugHandler builds the debug surface over reg's flight recorder and
+// span tracer.
+func NewDebugHandler(reg *Registry) *DebugHandler {
+	d := &DebugHandler{reg: reg, mux: http.NewServeMux()}
+	d.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	d.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	d.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	d.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	d.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.mux.HandleFunc("GET /debug/flightrecorder", d.flightRecorder)
+	d.mux.HandleFunc("POST /debug/rtrace/start", d.rtraceStart)
+	d.mux.HandleFunc("POST /debug/rtrace/stop", d.rtraceStop)
+	return d
+}
+
+// ServeHTTP implements http.Handler.
+func (d *DebugHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mux.ServeHTTP(w, r)
+}
+
+// flightPayload is the /debug/flightrecorder response: the request ring
+// and slow-query log plus the daemon's lifecycle spans (graph builds,
+// relabels, batch flushes).
+type flightPayload struct {
+	FlightSnapshot
+	Spans        []obs.Span `json:"spans,omitempty"`
+	DroppedSpans uint64     `json:"dropped_spans,omitempty"`
+}
+
+func (d *DebugHandler) flightRecorder(w http.ResponseWriter, _ *http.Request) {
+	payload := flightPayload{FlightSnapshot: d.reg.FlightRecorder().Snapshot()}
+	trace := d.reg.Tracer().Snapshot()
+	payload.Spans = trace.Spans
+	payload.DroppedSpans = trace.DroppedSpans
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (d *DebugHandler) rtraceStart(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tracing {
+		writeError(w, http.StatusConflict, errors.New("runtime trace already running"))
+		return
+	}
+	d.buf.Reset()
+	if err := rtrace.Start(&d.buf); err != nil {
+		// Most likely a concurrent capture via /debug/pprof/trace.
+		writeError(w, http.StatusConflict, fmt.Errorf("starting runtime trace: %w", err))
+		return
+	}
+	d.tracing = true
+	writeJSON(w, http.StatusOK, map[string]string{"status": "tracing"})
+}
+
+func (d *DebugHandler) rtraceStop(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.tracing {
+		writeError(w, http.StatusConflict, errors.New("no runtime trace running"))
+		return
+	}
+	rtrace.Stop()
+	d.tracing = false
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="bfsd.trace"`)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(d.buf.Bytes())
+	d.buf.Reset()
+}

@@ -24,6 +24,13 @@ type Metrics struct {
 
 	BatchWidth metrics.Histogram // sources per executed batch
 	Latency    metrics.Histogram // end-to-end request latency (ns)
+	// The latency split: QueueWait is the time a request spent pending
+	// before its batch was cut, Exec the traversal time of its serving
+	// batch (both ns, recorded once per request). Comparing their
+	// quantiles tells whether latency comes from the fill-or-flush
+	// deadline or from the traversal itself.
+	QueueWait metrics.Histogram
+	Exec      metrics.Histogram
 }
 
 // NewMetrics returns a zeroed Metrics.
@@ -69,16 +76,25 @@ func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
 	} {
 		fmt.Fprintf(w, "bfsd_batch_width{graph=%q,quantile=%q} %d\n", graph, q.name, q.v)
 	}
-	for _, q := range []struct {
-		name string
-		v    int64
+	for _, h := range []struct {
+		metric string
+		h      *metrics.Histogram
 	}{
-		{"p50", m.Latency.P50()},
-		{"p95", m.Latency.P95()},
-		{"p99", m.Latency.P99()},
+		{"bfsd_latency_seconds", &m.Latency},
+		{"bfsd_queue_wait_seconds", &m.QueueWait},
+		{"bfsd_exec_seconds", &m.Exec},
 	} {
-		fmt.Fprintf(w, "bfsd_latency_seconds{graph=%q,quantile=%q} %.6f\n",
-			graph, q.name, time.Duration(q.v).Seconds())
+		for _, q := range []struct {
+			name string
+			v    int64
+		}{
+			{"p50", h.h.P50()},
+			{"p95", h.h.P95()},
+			{"p99", h.h.P99()},
+		} {
+			fmt.Fprintf(w, "%s{graph=%q,quantile=%q} %.6f\n",
+				h.metric, graph, q.name, time.Duration(q.v).Seconds())
+		}
 	}
 	fmt.Fprintf(w, "bfsd_gteps%s %.4f\n", l, m.GTEPS())
 }

@@ -3,12 +3,15 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	msbfs "repro"
+	"repro/internal/obs"
 )
 
 // Entry is one served graph: the striped-relabeled graph, the permutation
@@ -52,13 +55,23 @@ type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*Entry
 	eng    *msbfs.Engine
+
+	// The daemon-wide observability surface: every coalescer shares the
+	// one flight recorder (so /debug/flightrecorder sees all graphs) and
+	// the one span tracer (graph builds, relabels, batch flushes).
+	rec    *FlightRecorder
+	tracer *obs.Tracer
+	logger *slog.Logger
 }
 
-// NewRegistry returns an empty registry with a fresh per-daemon engine.
+// NewRegistry returns an empty registry with a fresh per-daemon engine,
+// flight recorder and span tracer.
 func NewRegistry() *Registry {
 	return &Registry{
 		graphs: make(map[string]*Entry),
 		eng:    msbfs.NewEngine(msbfs.Options{}),
+		rec:    NewFlightRecorder(0, 0, 0),
+		tracer: obs.NewTracer(),
 	}
 }
 
@@ -69,11 +82,39 @@ func (r *Registry) Engine() *msbfs.Engine { return r.eng }
 // /metrics bfsd_engine_* gauges).
 func (r *Registry) EngineStats() msbfs.EngineStats { return r.eng.Stats() }
 
+// FlightRecorder returns the shared per-request flight recorder.
+func (r *Registry) FlightRecorder() *FlightRecorder { return r.rec }
+
+// Tracer returns the shared span tracer.
+func (r *Registry) Tracer() *obs.Tracer { return r.tracer }
+
+// SetLogger installs the structured logger new coalescers emit slow-query
+// warnings to. Call before registering graphs; nil disables the warnings.
+func (r *Registry) SetLogger(l *slog.Logger) { r.logger = l }
+
+// SetSlowQuery rebuilds the flight recorder with the given slow-query
+// threshold (<=0 keeps the default). Call before registering graphs so
+// every coalescer sees the new recorder.
+func (r *Registry) SetSlowQuery(d time.Duration) {
+	r.rec = NewFlightRecorder(0, 0, d)
+}
+
 // wireEngine defaults cfg.Engine to the registry's engine and pre-spawns a
-// pooled worker set of the configured width so the first flush is warm.
+// pooled worker set of the configured width so the first flush is warm. It
+// also wires the registry's shared observability surface into the config
+// unless the caller injected its own.
 func (r *Registry) wireEngine(cfg Config) Config {
 	if cfg.Engine == nil {
 		cfg.Engine = r.eng
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = r.rec
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = r.tracer
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = r.logger
 	}
 	cfg.Engine.Prewarm(cfg.Workers)
 	return cfg
@@ -90,7 +131,9 @@ func (r *Registry) wireEngine(cfg Config) Config {
 //	uniform:n=N[,degree=D][,seed=N]           Erdős–Rényi random graph
 //	social:n=N[,seed=N]                       LDBC-like social network
 func (r *Registry) Load(name, spec string, cfg Config) (*Entry, error) {
+	sp := r.tracer.StartSpan("graph-build", spec)
 	g, err := buildGraph(spec)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("server: graph %q: %w", name, err)
 	}
@@ -106,6 +149,9 @@ func (r *Registry) Add(name string, g *msbfs.Graph, relabel bool, cfg Config) (*
 // AddRunner registers a graph behind a custom Runner (tests inject
 // batch-counting wrappers). No relabeling is applied; ids pass through.
 func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config) (*Entry, error) {
+	if cfg.Graph == "" {
+		cfg.Graph = name
+	}
 	cfg = r.wireEngine(cfg)
 	met := NewMetrics()
 	e := &Entry{
@@ -119,10 +165,15 @@ func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config
 }
 
 func (r *Registry) add(name, spec string, g *msbfs.Graph, relabel bool, cfg Config) (*Entry, error) {
+	if cfg.Graph == "" {
+		cfg.Graph = name
+	}
 	cfg = r.wireEngine(cfg.normalize())
 	var perm []uint32
 	if relabel && g.NumVertices() > 0 {
+		sp := r.tracer.StartSpan("relabel", name)
 		g, perm = g.Relabel(msbfs.LabelStriped, cfg.Workers, 512, 1)
+		sp.End()
 	}
 	met := NewMetrics()
 	e := &Entry{

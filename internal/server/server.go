@@ -85,6 +85,7 @@ type queryResponse struct {
 	BatchWidth   int     `json:"batch_width"`
 	WaitMicros   int64   `json:"wait_us"`
 	RunMicros    int64   `json:"run_us"`
+	TraceID      uint64  `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -139,6 +140,7 @@ func (s *Server) query(kind Kind) http.HandlerFunc {
 			BatchWidth:   ans.BatchWidth,
 			WaitMicros:   ans.Wait.Microseconds(),
 			RunMicros:    ans.Run.Microseconds(),
+			TraceID:      ans.TraceID,
 		}
 		if kind == KindReachability {
 			resp.Reachable = &ans.Reachable

@@ -1,0 +1,101 @@
+// Command tracecheck validates a Chrome trace-event JSON file as produced
+// by `bfsrun -trace` (internal/obs.WriteChromeTrace). It exists so CI can
+// assert the export is loadable without a Python or browser dependency:
+// the file must be a JSON object with a non-empty traceEvents array, every
+// event must carry the fields the trace viewers require, and any event
+// names passed via -require must be present.
+//
+// Usage:
+//
+//	tracecheck -require csr-build,traversal trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// traceEvent mirrors the fields of the trace-event format that
+// chrome://tracing and Perfetto reject a file without.
+type traceEvent struct {
+	Name  string          `json:"name"`
+	Phase string          `json:"ph"`
+	PID   *int            `json:"pid"`
+	TID   *int            `json:"tid"`
+	TS    *float64        `json:"ts"`
+	Dur   *float64        `json:"dur"`
+	Args  json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated event names that must appear")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require a,b] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *require); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck: ok")
+}
+
+func check(path, require string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not a trace-event JSON object: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	var complete int
+	seen := map[string]bool{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.PID == nil {
+			return fmt.Errorf("%s: event %d (%s) has no pid", path, i, ev.Name)
+		}
+		seen[ev.Name] = true
+		switch ev.Phase {
+		case "M": // metadata: names a process/thread, no timestamps
+		case "X": // complete event: needs a timestamp and a duration
+			if ev.TS == nil || ev.Dur == nil {
+				return fmt.Errorf("%s: complete event %d (%s) lacks ts/dur", path, i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("%s: complete event %d (%s) has negative dur", path, i, ev.Name)
+			}
+			complete++
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unexpected phase %q", path, i, ev.Name, ev.Phase)
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("%s: no complete (ph=X) events — the trace has metadata only", path)
+	}
+	if require != "" {
+		for _, name := range strings.Split(require, ",") {
+			if name = strings.TrimSpace(name); name != "" && !seen[name] {
+				return fmt.Errorf("%s: required event %q not present", path, name)
+			}
+		}
+	}
+	fmt.Printf("%s: %d events (%d complete), displayTimeUnit=%q\n",
+		path, len(tf.TraceEvents), complete, tf.DisplayTimeUnit)
+	return nil
+}

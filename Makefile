@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet race debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
+.PHONY: all build test lint vet gate gate-update race debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
 
 all: build
 
@@ -25,11 +25,23 @@ lint: vet
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# vet = stock go vet plus the concurrency analyzers in cmd/bfsvet
-# (atomicword, hotalloc, waitgroupleak — see docs/ANALYSIS.md).
+# vet = stock go vet plus the concurrency/discipline analyzers in
+# cmd/bfsvet (arenarelease, atomicword, falseshare, hotalloc,
+# waitgroupleak — see docs/ANALYSIS.md).
 vet:
 	$(GO) vet $(PKGS)
 	$(GO) run ./cmd/bfsvet $(PKGS)
+
+# gate = the compiler-contract gate: recompile the audited packages with
+# escape/BCE/inlining diagnostics and check them against
+# analysis/contracts.json. Skips (exit 0, with a notice) when the local
+# toolchain's major.minor differs from the manifest's pin; gate-update
+# re-records the per-function budgets after an intentional change.
+gate:
+	$(GO) run ./cmd/bfsgate -C .
+
+gate-update:
+	$(GO) run ./cmd/bfsgate -C . -update
 
 # race = the race-detector stress suite. -short keeps the long benchmarks
 # out; the *_race_test.go / contended stress tests always run.
@@ -83,4 +95,4 @@ obs-smoke:
 	./scripts/obs_smoke.sh
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint test race debug obs-smoke
+ci: build lint gate test race debug obs-smoke

@@ -1,0 +1,121 @@
+// Command bfsgate is the compiler-contract gate: it compiles the audited
+// packages with escape, bounds-check and inlining diagnostics enabled,
+// maps each diagnostic to its enclosing function and //bfs:hot region, and
+// checks the result against the committed manifest analysis/contracts.json.
+//
+// Usage:
+//
+//	go run ./cmd/bfsgate                  # check against the manifest
+//	go run ./cmd/bfsgate -v               # also print advisories + observed shape
+//	go run ./cmd/bfsgate -update          # rewrite budgets after a deliberate change
+//	go run ./cmd/bfsgate -strict          # don't skip on a mismatched toolchain
+//
+// Exit status 0 when the contract holds (or the run was skipped on a
+// toolchain mismatch), 1 on violations, 2 on internal errors. See
+// docs/ANALYSIS.md for the contract workflow and how to read a diff of the
+// manifest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/gccontract"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bfsgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to compile and audit")
+	contractPath := fs.String("contract", "", "contract manifest path (default <-C>/analysis/contracts.json)")
+	update := fs.Bool("update", false, "rewrite the manifest's budgets and toolchain from the observed diagnostics")
+	strict := fs.Bool("strict", false, "check budgets even on a toolchain the manifest was not recorded with")
+	verbose := fs.Bool("v", false, "print advisories and the observed per-function shape")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *contractPath == "" {
+		*contractPath = filepath.Join(*dir, "analysis", "contracts.json")
+	}
+
+	res, err := gccontract.Run(gccontract.Options{
+		Dir:          *dir,
+		ContractPath: *contractPath,
+		Update:       *update,
+		Strict:       *strict,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bfsgate: %v\n", err)
+		return 2
+	}
+
+	if res.Skipped {
+		fmt.Fprintf(stdout, "bfsgate: SKIP: %s\n", res.SkipReason)
+		return 0
+	}
+
+	r := res.Report
+	for _, v := range r.Hot {
+		fmt.Fprintf(stderr, "%s: hot-region: %s\n", v.Pos, v.Msg)
+	}
+	for _, v := range r.Inline {
+		fmt.Fprintf(stderr, "%s: inline: %s\n", v.Pos, v.Msg)
+	}
+	if !*update {
+		for _, v := range r.Budget {
+			fmt.Fprintf(stderr, "%s: budget: %s\n", v.Pos, v.Msg)
+		}
+	}
+	if *verbose {
+		for _, a := range r.Advisories {
+			fmt.Fprintf(stdout, "advisory: %s\n", a)
+		}
+		printObserved(stdout, r)
+	}
+	if res.Updated {
+		fmt.Fprintf(stdout, "bfsgate: wrote %s (toolchain %s, %d function budgets)\n",
+			*contractPath, res.Toolchain, countNonZero(r))
+	}
+
+	if r.Failed(*update) {
+		fmt.Fprintf(stderr, "bfsgate: FAIL: %d hot-region, %d budget, %d inline violation(s)\n",
+			len(r.Hot), len(r.Budget), len(r.Inline))
+		return 1
+	}
+	fmt.Fprintf(stdout, "bfsgate: OK (toolchain %s, %d audited functions with diagnostics, %d advisories)\n",
+		res.Toolchain, countNonZero(r), len(r.Advisories))
+	return 0
+}
+
+func countNonZero(r *gccontract.Report) int {
+	n := 0
+	for _, b := range r.Observed {
+		if b.Escapes > 0 || b.BoundsChecks > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func printObserved(w io.Writer, r *gccontract.Report) {
+	fns := make([]string, 0, len(r.Observed))
+	for fn := range r.Observed {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		b := r.Observed[fn]
+		if b.Escapes == 0 && b.BoundsChecks == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "observed: %-60s escapes=%-3d bounds=%d\n", fn, b.Escapes, b.BoundsChecks)
+	}
+}

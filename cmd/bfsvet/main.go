@@ -1,7 +1,7 @@
 // Command bfsvet is the repository's concurrency-correctness multichecker:
-// it runs the custom internal/analysis passes (atomicword, hotalloc,
-// waitgroupleak) over the module's packages, exactly like `go vet` runs the
-// stock passes.
+// it runs the custom internal/analysis passes (arenarelease, atomicword,
+// falseshare, hotalloc, waitgroupleak) over the module's packages, exactly
+// like `go vet` runs the stock passes.
 //
 // Usage:
 //
@@ -25,14 +25,18 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/arenarelease"
 	"repro/internal/analysis/atomicword"
+	"repro/internal/analysis/falseshare"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/waitgroupleak"
 )
 
 // analyzers is the full pass catalogue, in reporting order.
 var analyzers = []*analysis.Analyzer{
+	arenarelease.Analyzer,
 	atomicword.Analyzer,
+	falseshare.Analyzer,
 	hotalloc.Analyzer,
 	waitgroupleak.Analyzer,
 }

@@ -50,7 +50,7 @@ func main() {
 	keys := core.RandomSources(g, *roots, *seed+1)
 	eng := core.NewEngine()
 	defer eng.Close()
-	pool, release := eng.BorrowPool(*workers)
+	pool, release := eng.BorrowPool(*workers) //bfs:arena-held deferred release() below frees it; Options only carries the pointer for the run
 	defer release()
 	opt := core.Options{Workers: *workers, Pool: pool, Engine: eng, RecordLevels: true}
 

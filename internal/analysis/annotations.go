@@ -6,46 +6,80 @@ import (
 	"strings"
 )
 
-// Annotation directives understood by the bfsvet analyzers. A directive is a
-// line comment of the form //bfs:<name>, optionally followed by free-text
-// justification, placed either on the annotated line, on the line directly
-// above it, or (for function-scoped directives) in the doc comment of the
-// enclosing function declaration. See docs/ANALYSIS.md.
+// Annotation directives understood by the bfsvet analyzers and the bfsgate
+// compiler-contract tool. A directive is a comment of the form //bfs:<name>
+// (or the same inside a /* */ block comment), optionally followed by
+// free-text justification. Placement rules:
+//
+//   - site directives (alloc-ok, bounds-ok, share-ok, singlewriter,
+//     detached, arena-held) go on the annotated line or the line directly
+//     above it;
+//   - region directives (hot) additionally bind when placed on the line
+//     directly below the loop/decl header — the first line of the body;
+//   - function-scoped directives (singlewriter, detached) may live in the
+//     doc comment of the enclosing function declaration.
+//
+// The directive must open its comment (or its line, inside a multi-line
+// block comment): prose that merely mentions "//bfs:hot" mid-sentence is
+// not an annotation. See docs/ANALYSIS.md.
 const (
-	// DirectiveHot marks a loop as a no-allocation zone (hotalloc).
+	// DirectiveHot marks a loop as a no-allocation zone (hotalloc) and a
+	// compiler-contract region (bfsgate: no heap escapes, no unwaived
+	// bounds checks).
 	DirectiveHot = "bfs:hot"
 	// DirectiveAllocOK suppresses hotalloc for one allocation site inside a
-	// hot loop; requires a justification.
+	// hot loop (and bfsgate for one escape site); requires a justification.
 	DirectiveAllocOK = "bfs:alloc-ok"
+	// DirectiveBoundsOK waives one bounds-check site inside a hot loop for
+	// bfsgate — used on BCE-hint lines and on checks that safe Go cannot
+	// eliminate (CSR/row slicing); requires a justification.
+	DirectiveBoundsOK = "bfs:bounds-ok"
 	// DirectiveSingleWriter suppresses atomicword for a statement or a whole
 	// function whose plain bitset-word writes are single-writer by design.
 	DirectiveSingleWriter = "bfs:singlewriter"
 	// DirectiveDetached suppresses waitgroupleak for an intentionally
 	// fire-and-forget goroutine.
 	DirectiveDetached = "bfs:detached"
+	// DirectiveArenaHeld suppresses arenarelease for a borrow whose
+	// artifact intentionally outlives the borrowing function (handed to the
+	// caller, e.g. level rows returned inside a Result); requires a
+	// justification naming the release path.
+	DirectiveArenaHeld = "bfs:arena-held"
+	// DirectiveShareOK suppresses falseshare for a per-worker-indexed write
+	// to an unpadded element that is deliberately unpadded (e.g. written
+	// once per phase, not per task); requires a justification.
+	DirectiveShareOK = "bfs:share-ok"
 )
 
 // Annotations indexes every comment line of a set of files so analyzers can
-// ask "is this position annotated with directive X" in O(1).
+// ask "is this position annotated with directive X" in O(1). Multi-line
+// block comments contribute each of their lines at its own line number.
 type Annotations struct {
 	fset *token.FileSet
-	// lines maps filename -> line -> concatenated comment text on that line.
-	lines map[string]map[int]string
+	// lines maps filename -> line -> directives carried by comments on that
+	// line.
+	lines map[string]map[int][]string
 }
 
 // NewAnnotations indexes the comments of files.
 func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
-	a := &Annotations{fset: fset, lines: map[string]map[int]string{}}
+	a := &Annotations{fset: fset, lines: map[string]map[int][]string{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				pos := fset.Position(c.Slash)
-				m := a.lines[pos.Filename]
-				if m == nil {
-					m = map[int]string{}
-					a.lines[pos.Filename] = m
+				for j, lineText := range strings.Split(c.Text, "\n") {
+					d := directiveOf(lineText, j == 0)
+					if d == "" {
+						continue
+					}
+					m := a.lines[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						a.lines[pos.Filename] = m
+					}
+					m[pos.Line+j] = append(m[pos.Line+j], d)
 				}
-				m[pos.Line] += c.Text
 			}
 		}
 	}
@@ -53,14 +87,44 @@ func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 }
 
 // Marked reports whether pos's line, or the line directly above it, carries
-// the given directive.
+// the given directive. This is the placement rule for site directives
+// (alloc-ok, bounds-ok, share-ok, singlewriter, detached, arena-held).
 func (a *Annotations) Marked(pos token.Pos, directive string) bool {
 	p := a.fset.Position(pos)
-	m := a.lines[p.Filename]
-	if m == nil {
-		return false
+	return a.onLine(p.Filename, p.Line, directive) ||
+		a.onLine(p.Filename, p.Line-1, directive)
+}
+
+// MarkedRegion reports whether pos's line, the line directly above it, or
+// the line directly below it carries the directive. Region directives
+// (//bfs:hot on a loop) accept the line-below placement so the annotation
+// can open the loop body:
+//
+//	for v := r.Lo; v < r.Hi; v++ {
+//		//bfs:hot phase 2 sweep
+func (a *Annotations) MarkedRegion(pos token.Pos, directive string) bool {
+	p := a.fset.Position(pos)
+	return a.onLine(p.Filename, p.Line, directive) ||
+		a.onLine(p.Filename, p.Line-1, directive) ||
+		a.onLine(p.Filename, p.Line+1, directive)
+}
+
+// MarkedAt is Marked for a position already resolved to filename:line
+// outside this fileset — bfsgate matches compiler diagnostics (which carry
+// module-root-relative paths) against annotations this way. Placement rule
+// is the site rule: the line itself or the line directly above.
+func (a *Annotations) MarkedAt(filename string, line int, directive string) bool {
+	return a.onLine(filename, line, directive) ||
+		a.onLine(filename, line-1, directive)
+}
+
+func (a *Annotations) onLine(filename string, line int, directive string) bool {
+	for _, d := range a.lines[filename][line] {
+		if d == directive {
+			return true
+		}
 	}
-	return hasDirective(m[p.Line], directive) || hasDirective(m[p.Line-1], directive)
+	return false
 }
 
 // DocMarked reports whether the doc comment of fn carries the directive,
@@ -70,30 +134,51 @@ func DocMarked(fn *ast.FuncDecl, directive string) bool {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if hasDirective(c.Text, directive) {
-			return true
+		for j, lineText := range strings.Split(c.Text, "\n") {
+			if directiveOf(lineText, j == 0) == directive {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// hasDirective reports whether comment text contains //bfs:<name> as a whole
-// token (so bfs:hot does not match bfs:hotfix).
-func hasDirective(text, directive string) bool {
-	for rest := text; ; {
-		i := strings.Index(rest, directive)
-		if i < 0 {
-			return false
+// directiveOf extracts the bfs: directive a comment line carries, or "".
+// first marks the comment's opening line (which still carries the // or /*
+// opener); continuation lines of a block comment may be indented and use a
+// leading * in the gofmt style. The directive must open the comment text —
+// "//bfs:hot reason" is an annotation, "// see the //bfs:hot loops" is
+// prose.
+func directiveOf(line string, first bool) string {
+	s := line
+	if first {
+		switch {
+		case strings.HasPrefix(s, "//"):
+			s = s[2:]
+		case strings.HasPrefix(s, "/*"):
+			s = strings.TrimLeft(s[2:], " \t")
 		}
-		after := rest[i+len(directive):]
-		if after == "" || !isDirectiveChar(after[0]) {
-			return true
-		}
-		rest = after
+	} else {
+		// Block-comment continuation line: strip indentation and the
+		// conventional leading asterisk.
+		s = strings.TrimLeft(s, " \t")
+		s = strings.TrimPrefix(s, "*")
+		s = strings.TrimLeft(s, " \t")
 	}
+	if !strings.HasPrefix(s, "bfs:") {
+		return ""
+	}
+	end := len(s)
+	for i := 4; i < len(s); i++ {
+		if !isDirectiveChar(s[i]) {
+			end = i
+			break
+		}
+	}
+	return s[:end]
 }
 
 func isDirectiveChar(b byte) bool {
-	return b == '-' || b == ':' ||
+	return b == '-' ||
 		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
 }

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDirectiveOf(t *testing.T) {
+	tests := []struct {
+		name  string
+		line  string
+		first bool
+		want  string
+	}{
+		{"line comment", "//bfs:hot phase 1 scan", true, "bfs:hot"},
+		{"line comment no text", "//bfs:hot", true, "bfs:hot"},
+		{"hyphenated", "//bfs:alloc-ok grows once", true, "bfs:alloc-ok"},
+		{"prose mention is not a directive", "// loops annotated //bfs:hot", true, ""},
+		{"space after slashes is prose", "// bfs:hot loops must not allocate", true, ""},
+		{"block comment single line", "/*bfs:hot region*/", true, "bfs:hot"},
+		{"block comment space after opener", "/* bfs:hot region */", true, "bfs:hot"},
+		{"block continuation line", "\tbfs:singlewriter reason", false, "bfs:singlewriter"},
+		{"block continuation star", " * bfs:detached reason", false, "bfs:detached"},
+		{"continuation prose", " * the bfs:hot convention", false, ""},
+		{"token boundary", "//bfs:hotfix", true, "bfs:hotfix"},
+		{"empty", "", true, ""},
+		{"want comment", "// want `x`", true, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := directiveOf(tt.line, tt.first); got != tt.want {
+				t.Errorf("directiveOf(%q, %v) = %q, want %q", tt.line, tt.first, got, tt.want)
+			}
+		})
+	}
+}
+
+// parseFile parses src and returns the annotation index plus a lookup for
+// the token.Pos at the start of a 1-based line.
+func parseFile(t *testing.T, src string) (*Annotations, *ast.File, func(line int) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "file.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ann := NewAnnotations(fset, []*ast.File{f})
+	tf := fset.File(f.Pos())
+	return ann, f, func(line int) token.Pos { return tf.LineStart(line) }
+}
+
+func TestAnnotationsPlacement(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//bfs:hot line above
+	_ = 5
+	_ = 6 //bfs:singlewriter trailing same line
+	_ = 7
+	for i := 0; i < 3; i++ {
+		//bfs:hot line after the decl header
+		_ = i
+	}
+	/*
+	   bfs:detached inside a block comment, third line
+	*/
+	_ = 15
+	/* bfs:alloc-ok single-line block */
+	_ = 17
+	// prose that mentions //bfs:hot mid-sentence
+	_ = 19
+}
+`
+	tests := []struct {
+		name      string
+		line      int
+		directive string
+		marked    bool
+		region    bool
+	}{
+		{"annotation on the line above", 5, DirectiveHot, true, true},
+		{"trailing comment on the same line", 6, DirectiveSingleWriter, true, true},
+		{"unannotated line", 7, DirectiveHot, false, false},
+		{"annotation on the line after the decl header", 8, DirectiveHot, false, true},
+		{"block comment interior line binds where it appears", 14, DirectiveDetached, true, true},
+		{"block comment start line does not inherit interior lines", 12, DirectiveDetached, false, true},
+		{"single-line block comment above", 17, DirectiveAllocOK, true, true},
+		{"prose mention does not bind", 19, DirectiveHot, false, false},
+	}
+
+	ann, _, posAt := parseFile(t, src)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pos := posAt(tt.line)
+			if got := ann.Marked(pos, tt.directive); got != tt.marked {
+				t.Errorf("Marked(line %d, %s) = %v, want %v", tt.line, tt.directive, got, tt.marked)
+			}
+			if got := ann.MarkedRegion(pos, tt.directive); got != tt.region {
+				t.Errorf("MarkedRegion(line %d, %s) = %v, want %v", tt.line, tt.directive, got, tt.region)
+			}
+		})
+	}
+}
+
+func TestDocMarkedStrictness(t *testing.T) {
+	const src = `package p
+
+// clearAll zeroes the buffer.
+//
+//bfs:singlewriter sequential by design
+func clearAll(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// notWaived's doc mentions the //bfs:singlewriter convention as prose.
+func notWaived(w []uint64) {
+	w[0] = 1
+}
+
+/*
+blockDoc has a block doc comment.
+
+bfs:detached reason on its own line
+*/
+func blockDoc() {}
+`
+	_, f, _ := parseFile(t, src)
+	var fns []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			fns = append(fns, fn)
+		}
+	}
+	if len(fns) != 3 {
+		t.Fatalf("want 3 funcs, got %d", len(fns))
+	}
+	if !DocMarked(fns[0], DirectiveSingleWriter) {
+		t.Errorf("clearAll: doc directive not recognized")
+	}
+	if DocMarked(fns[1], DirectiveSingleWriter) {
+		t.Errorf("notWaived: prose mention wrongly recognized as directive")
+	}
+	if !DocMarked(fns[2], DirectiveDetached) {
+		t.Errorf("blockDoc: directive on interior block-comment line not recognized")
+	}
+	if DocMarked(nil, DirectiveDetached) {
+		t.Errorf("DocMarked(nil) must be false")
+	}
+}

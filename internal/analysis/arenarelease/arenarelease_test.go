@@ -1,0 +1,12 @@
+package arenarelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenarelease"
+)
+
+func TestArenaRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", arenarelease.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package falseshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/falseshare"
+)
+
+func TestFalseShare(t *testing.T) {
+	analysistest.Run(t, "testdata", falseshare.Analyzer, "a")
+}

@@ -1,0 +1,69 @@
+// Package a is the falseshare golden corpus: per-worker-indexed writes to
+// narrow and padded elements, waived sites, and the shapes the pass must
+// leave alone (strided slots, maps, reads, non-worker indices).
+package a
+
+import "sync/atomic"
+
+// padded mirrors the scheduler's cache-line-padded counter cell.
+type padded struct {
+	v int64
+	_ [56]byte
+}
+
+// stats is a narrow two-field element (16 bytes).
+type stats struct {
+	tasks  int64
+	steals int64
+}
+
+type bigStats struct {
+	tasks atomic.Int64
+	_     [56]byte
+}
+
+func NarrowWrites(busy []int64, workerID int, elapsed int64) {
+	busy[workerID] = elapsed  // want `falsely shares a cache line`
+	busy[workerID] += elapsed // want `falsely shares a cache line`
+	busy[workerID]++          // want `falsely shares a cache line`
+}
+
+func NarrowFieldWrite(counts []stats, workerID int) {
+	counts[workerID].tasks++       // want `falsely shares a cache line`
+	counts[workerID].steals = 1    // want `falsely shares a cache line`
+	counts[workerID] = stats{1, 2} // want `falsely shares a cache line`
+}
+
+func PaddedWrites(cells []padded, counts []bigStats, workerID int, elapsed int64) {
+	cells[workerID].v += elapsed // 64-byte element: one worker per line
+	counts[workerID].tasks.Add(1)
+	counts[workerID] = bigStats{}
+}
+
+func WaivedWrite(timings []int64, workerID int, elapsed int64) {
+	timings[workerID] = elapsed //bfs:share-ok one-shot result publish after the parallel phase
+}
+
+func StridedSlot(counts []int64, workerID int) {
+	// Deliberate stride keeps workers a line apart; the index is not the
+	// bare workerID ident, so the pass stays quiet by design.
+	counts[workerID*8]++
+}
+
+func OtherIndex(levels []int32, v int) {
+	levels[v] = 1 // per-vertex, not per-worker
+}
+
+func MapSlot(m map[int]int64, workerID int) {
+	m[workerID] = 1 // map elements are not adjacent
+}
+
+func ArrayWrite(workerID int) {
+	var busy [8]int64
+	busy[workerID] = 1 // want `falsely shares a cache line`
+	_ = busy
+}
+
+func ReadOnly(busy []int64, workerID int) int64 {
+	return busy[workerID] // reads don't invalidate the line
+}

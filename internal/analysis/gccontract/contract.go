@@ -1,0 +1,70 @@
+package gccontract
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Budget is one function's contract allowance. A function absent from the
+// manifest has an implicit zero budget: any diagnostic in it is new and
+// fails the gate.
+type Budget struct {
+	// Escapes is the allowed number of distinct heap-allocation sites
+	// (moved-to-heap variables plus escaping expressions).
+	Escapes int `json:"escapes,omitempty"`
+	// BoundsChecks is the allowed number of distinct sites where the SSA
+	// backend kept an IsInBounds/IsSliceInBounds check.
+	BoundsChecks int `json:"bounds_checks,omitempty"`
+}
+
+// Contract is the committed compiler-contract manifest
+// (analysis/contracts.json).
+type Contract struct {
+	// Toolchain is the Go release the budgets were recorded with
+	// ("go1.24"). Diagnostics shift between releases, so a gate run on a
+	// different major.minor skips with a notice unless forced strict.
+	Toolchain string `json:"toolchain"`
+	// Packages are the audited package patterns.
+	Packages []string `json:"packages"`
+	// MustInline lists functions ("pkgpath.name", compiler display form)
+	// the compiler must report inlinable: the bitset word ops, CSR
+	// accessors and the direction heuristic that the hot loops call per
+	// vertex or per word. Curated by hand; -update never rewrites it.
+	MustInline []string `json:"must_inline"`
+	// Functions maps "pkgpath.name" to its recorded allowance. Regenerated
+	// by -update.
+	Functions map[string]Budget `json:"functions"`
+}
+
+// LoadContract reads and validates the manifest at path.
+func LoadContract(path string) (*Contract, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Contract
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("parse contract %s: %w", path, err)
+	}
+	if len(c.Packages) == 0 {
+		return nil, fmt.Errorf("contract %s lists no audited packages", path)
+	}
+	if c.Functions == nil {
+		c.Functions = map[string]Budget{}
+	}
+	return &c, nil
+}
+
+// Save writes the manifest with stable formatting (sorted keys, trailing
+// newline) so -update produces reviewable diffs.
+func (c *Contract) Save(path string) error {
+	sort.Strings(c.MustInline)
+	sort.Strings(c.Packages)
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,143 @@
+package gccontract
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Options configures one gate run.
+type Options struct {
+	// Dir is the module root.
+	Dir string
+	// ContractPath is the manifest location (relative paths resolve against
+	// the process working directory, not Dir).
+	ContractPath string
+	// Update rewrites the manifest's function budgets and toolchain from
+	// the observed diagnostics instead of failing on budget drift.
+	// Hot-region and must-inline violations still fail.
+	Update bool
+	// Strict runs the budget comparison even on a toolchain other than the
+	// one the manifest records.
+	Strict bool
+}
+
+// Result is the outcome of a gate run.
+type Result struct {
+	// Skipped is true when the toolchain does not match the manifest and
+	// Strict is off; Report is nil in that case.
+	Skipped    bool
+	SkipReason string
+	// Toolchain is the detected local toolchain ("go1.24").
+	Toolchain string
+	Report    *Report
+	// Updated is true when -update rewrote the manifest.
+	Updated bool
+}
+
+// Run executes the gate: collect diagnostics, index sources, check against
+// the manifest, optionally rewrite it.
+func Run(opts Options) (*Result, error) {
+	contract, err := LoadContract(opts.ContractPath)
+	if err != nil {
+		return nil, err
+	}
+
+	tc, err := toolchain(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Toolchain: tc}
+	if tc != contract.Toolchain && !opts.Strict && !opts.Update {
+		res.Skipped = true
+		res.SkipReason = fmt.Sprintf(
+			"toolchain %s does not match contract toolchain %s; compiler diagnostics are release-specific (run with -strict to force, or -update on the new release)",
+			tc, contract.Toolchain)
+		return res, nil
+	}
+
+	modulePath, err := modPath(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	listed, err := analysis.ListPackages(opts.Dir, contract.Packages...)
+	if err != nil {
+		return nil, err
+	}
+	var audited []analysis.ListedPackage
+	for _, p := range listed {
+		if len(p.Match) > 0 {
+			audited = append(audited, p)
+		}
+	}
+	if len(audited) == 0 {
+		return nil, fmt.Errorf("contract packages %v matched nothing", contract.Packages)
+	}
+
+	idx, err := BuildIndex(opts.Dir, audited)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Collect(opts.Dir, modulePath, contract.Packages)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = Check(contract, diags, idx)
+
+	if opts.Update {
+		contract.Functions = map[string]Budget{}
+		for fn, b := range res.Report.Observed {
+			if b.Escapes > 0 || b.BoundsChecks > 0 {
+				contract.Functions[fn] = b
+			}
+		}
+		contract.Toolchain = tc
+		if err := contract.Save(opts.ContractPath); err != nil {
+			return nil, err
+		}
+		res.Updated = true
+	}
+	return res, nil
+}
+
+// toolchain returns the local Go release as major.minor ("go1.24").
+func toolchain(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOVERSION")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOVERSION: %w", err)
+	}
+	return majorMinor(strings.TrimSpace(string(out))), nil
+}
+
+// majorMinor trims a full version ("go1.24.2", "go1.24rc1") to "go1.24".
+func majorMinor(v string) string {
+	dots := 0
+	for i := 0; i < len(v); i++ {
+		switch {
+		case v[i] == '.':
+			dots++
+			if dots == 2 {
+				return v[:i]
+			}
+		case dots == 1 && (v[i] < '0' || v[i] > '9'):
+			return v[:i]
+		}
+	}
+	return v
+}
+
+// modPath reads the module path governing dir.
+func modPath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

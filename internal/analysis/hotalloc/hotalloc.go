@@ -59,7 +59,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			default:
 				return true
 			}
-			if !ann.Marked(n.Pos(), analysis.DirectiveHot) {
+			if !ann.MarkedRegion(n.Pos(), analysis.DirectiveHot) {
 				return true
 			}
 			checkHotBody(pass, ann, body)

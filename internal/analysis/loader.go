@@ -57,13 +57,39 @@ func NewLoader() *Loader {
 	}
 }
 
-// listedPackage is the subset of `go list -json` output the loader needs.
-type listedPackage struct {
+// ListedPackage is the subset of `go list -json` output the loader and the
+// bfsgate compiler-contract tool need: enough to map source files back to
+// their packages.
+type ListedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
 	Standard   bool
 	Match      []string
+}
+
+// ListPackages runs `go list -json -deps` in dir over patterns and decodes
+// the result. The -deps closure comes back in topological order; entries
+// named by the patterns carry a non-empty Match.
+func ListPackages(dir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var listed []ListedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p ListedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
 }
 
 // Import implements types.Importer: module-local packages come from the
@@ -84,23 +110,9 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
+	listed, err := ListPackages(dir, patterns...)
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
-	}
-
-	var listed []listedPackage
-	dec := json.NewDecoder(strings.NewReader(string(out)))
-	for dec.More() {
-		var p listedPackage
-		if err := dec.Decode(&p); err != nil {
-			return nil, fmt.Errorf("decode go list output: %w", err)
-		}
-		listed = append(listed, p)
+		return nil, err
 	}
 
 	// -deps emits the whole closure; only packages with a Match entry were

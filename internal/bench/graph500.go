@@ -34,7 +34,7 @@ func Graph500(cfg Config) (Graph500Result, error) {
 
 	eng := core.NewEngine()
 	defer eng.Close()
-	pool, release := eng.BorrowPool(workers)
+	pool, release := eng.BorrowPool(workers) //bfs:arena-held deferred release() below frees it; Options only carries the pointer for the run
 	defer release()
 	e := core.NewSMSPBFSEngine(g, core.BitState, core.Options{
 		Workers: workers, Pool: pool, Engine: eng, RecordLevels: true,

@@ -63,7 +63,7 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 	var levels []int32
 	if opt.RecordLevels {
 		// NoLevel fill doubles as the level row's arena scrub.
-		levels = eng.borrowLevels(n)
+		levels = eng.borrowLevels(n) //bfs:arena-held row rides in the returned Result; the caller frees it with Engine.ReleaseLevels
 		for i := range levels {
 			levels[i] = NoLevel
 		}
@@ -223,16 +223,16 @@ func beamerBottomUpStep(g *graph.Graph, seen, front, next *bitset.Bitmap, levels
 				continue
 			}
 			u := base + off
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				scanned++
-				if front.Get(int(v)) {
-					seen.Set(u)
-					next.Set(u)
+				if front.Get(int(v)) { //bfs:bounds-ok inlined bitmap word indexing; Bitmap sized to n
+					seen.Set(u) //bfs:bounds-ok inlined bitmap word indexing; Bitmap sized to n
+					next.Set(u) //bfs:bounds-ok inlined bitmap word indexing; Bitmap sized to n
 					if levels != nil {
-						levels[u] = depth
+						levels[u] = depth //bfs:bounds-ok levels is caller-sized to n; written once per discovered vertex
 					}
 					updated++
-					updatedDegree += int64(g.Degree(u))
+					updatedDegree += int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 					break
 				}
 			}

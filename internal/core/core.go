@@ -190,7 +190,7 @@ func (o Options) resolvePool(eng *Engine) (pool *sched.Pool, borrowed bool) {
 		}
 		return o.Pool, false
 	}
-	return eng.borrowPool(o.workers()), true
+	return eng.borrowPool(o.workers()), true //bfs:arena-held borrowed=true obliges the caller to hand the pool back via returnPool at end of run
 }
 
 // fillMask writes the k-sources-active mask (lowest k bits set) into mask

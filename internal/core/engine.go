@@ -208,7 +208,7 @@ func (e *Engine) BorrowPool(workers int) (*sched.Pool, func()) {
 	if workers < 1 {
 		workers = 1
 	}
-	p := e.borrowPool(workers)
+	p := e.borrowPool(workers) //bfs:arena-held ownership transfers to the caller together with the paired release closure below
 	var once sync.Once
 	return p, func() { once.Do(func() { e.returnPool(p) }) }
 }

@@ -63,7 +63,7 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 		levels = make([][]int32, k)
 		for i := range levels {
 			// NoLevel fill doubles as the level rows' arena scrub.
-			levels[i] = eng.borrowLevels(n)
+			levels[i] = eng.borrowLevels(n) //bfs:arena-held rows ride in the returned MultiResult; the caller frees them with Engine.ReleaseLevels
 			for v := range levels[i] {
 				levels[i][v] = NoLevel
 			}

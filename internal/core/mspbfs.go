@@ -93,7 +93,7 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 
 	var e *MSPBFSEngine
 	if recycle {
-		e = eng.checkoutMS(key)
+		e = eng.checkoutMS(key) //bfs:arena-held warm shell is handed to the caller; Close checks it back in via checkinMS
 	}
 	if e != nil {
 		// Warm shell: every array already has the right shape; just
@@ -212,7 +212,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		for i := range levels {
 			// The NoLevel fill is the level rows' arena scrub: every entry
 			// is overwritten before the row can be read.
-			levels[i] = e.eng.borrowLevels(n)
+			levels[i] = e.eng.borrowLevels(n) //bfs:arena-held rows ride in the returned MultiResult; the caller frees them with Engine.ReleaseLevels
 			for v := range levels[i] {
 				levels[i][v] = NoLevel
 			}
@@ -363,11 +363,11 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 		scanned := &e.scanned[workerID]
 		//bfs:hot phase 1 frontier scan: runs per vertex per iteration, must not allocate
 		for v := r.Lo; v < r.Hi; v++ {
-			if !frontier.Any(v) {
+			if !frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
 				continue
 			}
-			row := frontier.Row(v)
-			nbrs := g.Neighbors(v)
+			row := frontier.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+			nbrs := g.Neighbors(v) //bfs:bounds-ok CSR offsets are monotone and sized n+1 by Builder
 			scanned.v += int64(len(nbrs))
 			if e.tracker == nil {
 				for _, nb := range nbrs {
@@ -379,7 +379,7 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 				// (shareable) reads and are not charged.
 				for _, nb := range nbrs {
 					if next.AtomicOrVertex(int(nb), row) {
-						e.tracker.RecordElem(e.pageMap, workerID, int(nb))
+						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
 					}
 				}
 			}
@@ -402,14 +402,19 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 		}
 		//bfs:hot phase 2 resolution sweep: runs per vertex per iteration, must not allocate
 		for v := r.Lo; v < r.Hi; v++ {
-			if frontier.Any(v) {
-				frontier.ZeroVertex(v)
+			if frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+				frontier.ZeroVertex(v) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
 			}
-			if !next.Any(v) {
+			if !next.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
 				continue
 			}
-			nRow := next.Row(v)
-			sRow := e.seen.Row(v)
+			nRow := next.Row(v)   //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+			sRow := e.seen.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+			if len(sRow) < len(nRow) || len(live) < len(nRow) {
+				// BCE hint: pins the row strides so the merge loops below
+				// compile without per-word bounds checks (bfsgate contract).
+				panic("mspbfs: row stride mismatch")
+			}
 			anyNew := uint64(0)
 			for i := range nRow {
 				nw := nRow[i] &^ sRow[i]
@@ -429,7 +434,7 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 			}
 			upd.v += int64(newBits)
 			fv.v++
-			d := int64(g.Degree(v))
+			d := int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 			fd.v += d
 			ud.v += d
 			if levels != nil || opt.OnVisit != nil {
@@ -463,22 +468,27 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 		}
 		//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
 		for u := r.Lo; u < r.Hi; u++ {
-			sRow := e.seen.Row(u)
+			sRow := e.seen.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
 			if coversMask(sRow, activeMask) {
 				// Fully seen: just scrub any stale next bits so the buffer
 				// swap stays exact (see the buffer-reuse discussion in the
 				// package tests).
-				if next.Any(u) {
-					next.ZeroVertex(u)
+				if next.Any(u) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+					next.ZeroVertex(u) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
 				}
 				continue
 			}
 			for i := range acc {
 				acc[i] = 0
 			}
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				scanned.v++
-				fRow := frontier.Row(int(v))
+				fRow := frontier.Row(int(v)) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+				if len(fRow) < len(acc) {
+					// BCE hint: pins the row stride so the merge below
+					// compiles without per-word bounds checks (bfsgate).
+					panic("mspbfs: row stride mismatch")
+				}
 				for i := range acc {
 					acc[i] |= fRow[i]
 				}
@@ -486,7 +496,12 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 					break
 				}
 			}
-			nRow := next.Row(u)
+			nRow := next.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+			if len(sRow) < len(acc) || len(nRow) < len(acc) || len(live) < len(nRow) {
+				// BCE hint: pins the row strides so the resolution loops
+				// below compile without per-word bounds checks (bfsgate).
+				panic("mspbfs: row stride mismatch")
+			}
 			anyNew := uint64(0)
 			for i := range acc {
 				nw := acc[i] &^ sRow[i]
@@ -504,7 +519,7 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 			}
 			upd.v += int64(newBits)
 			fv.v++
-			d := int64(g.Degree(u))
+			d := int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 			fd.v += d
 			ud.v += d
 			if levels != nil || opt.OnVisit != nil {
@@ -547,6 +562,12 @@ func (e *MSPBFSEngine) emitVisits(workerID, v int, newRow []uint64, levels [][]i
 
 // coversMask reports whether row covers every bit of mask.
 func coversMask(row, mask []uint64) bool {
+	if len(row) < len(mask) {
+		// BCE hint: rows and masks share the batch stride; pinning the
+		// relation here keeps the loop free of per-word bounds checks at
+		// every (inlined) call site.
+		panic("mspbfs: mask wider than row")
+	}
 	for i := range mask {
 		if mask[i]&^row[i] != 0 {
 			return false
@@ -557,6 +578,10 @@ func coversMask(row, mask []uint64) bool {
 
 // coversPair reports whether (a | b) covers every bit of mask.
 func coversPair(a, b, mask []uint64) bool {
+	if len(a) < len(mask) || len(b) < len(mask) {
+		// BCE hint: see coversMask.
+		panic("mspbfs: mask wider than row")
+	}
 	for i := range mask {
 		if mask[i]&^(a[i]|b[i]) != 0 {
 			return false

@@ -28,7 +28,7 @@ func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
 	var levels []int32
 	if opt.RecordLevels {
 		// NoLevel fill doubles as the level row's arena scrub.
-		levels = eng.borrowLevels(n)
+		levels = eng.borrowLevels(n) //bfs:arena-held row rides in the returned Result; the caller frees it with Engine.ReleaseLevels
 		for i := range levels {
 			levels[i] = NoLevel
 		}

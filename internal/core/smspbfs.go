@@ -134,7 +134,7 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 
 	var e *SMSPBFSEngine
 	if recycle {
-		e = eng.checkoutSMS(key)
+		e = eng.checkoutSMS(key) //bfs:arena-held warm shell is handed to the caller; Close checks it back in via checkinSMS
 	}
 	if e != nil {
 		e.g, e.opt, e.pool = g, opt, pool
@@ -207,7 +207,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	var levels []int32
 	if opt.RecordLevels {
 		// NoLevel fill doubles as the level row's arena scrub.
-		levels = e.eng.borrowLevels(n)
+		levels = e.eng.borrowLevels(n) //bfs:arena-held row rides in the returned Result; the caller frees it with Engine.ReleaseLevels
 		for i := range levels {
 			levels[i] = NoLevel
 		}
@@ -303,6 +303,12 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 		scanned := &e.scanned[workerID]
 		words := frontier.ChunkWords()
 		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		if loW < 0 || hiW > len(words) {
+			// BCE hint: task ranges lie inside [0, n), so the chunk-word
+			// window is in bounds; pinning it here keeps the scan loop free
+			// of per-chunk bounds checks (bfsgate contract).
+			panic("smspbfs: task range outside chunk words")
+		}
 		//bfs:hot phase 1 chunk scan: runs per chunk per iteration, must not allocate
 		for wi := loW; wi < hiW; wi++ {
 			if words[wi] == 0 {
@@ -317,7 +323,7 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 				if !frontier.Get(v) {
 					continue
 				}
-				nbrs := g.Neighbors(v)
+				nbrs := g.Neighbors(v) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				scanned.v += int64(len(nbrs))
 				if e.tracker == nil {
 					for _, nb := range nbrs {
@@ -330,7 +336,7 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 				} else {
 					for _, nb := range nbrs {
 						if next.AtomicSet(int(nb)) {
-							e.tracker.RecordElem(e.pageMap, workerID, int(nb))
+							e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
 						}
 					}
 				}
@@ -351,6 +357,10 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 		}
 		words := next.ChunkWords()
 		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+		if loW < 0 || hiW > len(words) {
+			// BCE hint: see the phase 1 chunk-window guard.
+			panic("smspbfs: task range outside chunk words")
+		}
 		//bfs:hot phase 2 chunk scan: runs per chunk per iteration, must not allocate
 		for wi := loW; wi < hiW; wi++ {
 			if words[wi] == 0 {
@@ -371,9 +381,9 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 				}
 				e.seen.Set(v)
 				upd.v++
-				fd.v += int64(g.Degree(v))
+				fd.v += int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				if levels != nil {
-					levels[v] = depth
+					levels[v] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
 				}
 				if opt.OnVisit != nil {
 					opt.OnVisit(workerID, 0, v, int(depth))
@@ -408,7 +418,7 @@ func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int
 				continue
 			}
 			found := false
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				scanned.v++
 				if frontier.Get(int(v)) {
 					found = true
@@ -419,9 +429,9 @@ func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int
 				next.Set(u)
 				e.seen.Set(u)
 				upd.v++
-				fd.v += int64(g.Degree(u))
+				fd.v += int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
 				if levels != nil {
-					levels[u] = depth
+					levels[u] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
 				}
 				if opt.OnVisit != nil {
 					opt.OnVisit(workerID, 0, u, int(depth))

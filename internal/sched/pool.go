@@ -21,8 +21,10 @@ type Pool struct {
 
 	// busy accumulates per-worker busy time for the current measured
 	// window; guarded by timing channel handoff (written only by the
-	// owning worker between phases).
-	busy []time.Duration
+	// owning worker between phases). Cells are cache-line padded: every
+	// worker bumps its slot once per phase, and on short phases the
+	// unpadded layout put up to eight workers' accumulators on one line.
+	busy []busyCell
 
 	// counts accumulates per-worker task/steal totals across phases.
 	// Unlike busy, these are atomics: the tracing layer snapshots them
@@ -39,6 +41,13 @@ type Pool struct {
 	done   sync.WaitGroup
 
 	closed bool
+}
+
+// busyCell is one worker's busy-time accumulator, padded to a full cache
+// line for the same reason as taskCounter.
+type busyCell struct {
+	d time.Duration
+	_ [56]byte
 }
 
 // taskCounter is one worker's fetched-task accounting, padded so
@@ -70,7 +79,7 @@ func NewPool(workers int, lockThreads bool) *Pool {
 	p := &Pool{
 		workers: workers,
 		jobs:    make([]chan phaseJob, workers),
-		busy:    make([]time.Duration, workers),
+		busy:    make([]busyCell, workers),
 		counts:  make([]taskCounter, workers),
 		panics:  make(chan any, 1),
 	}
@@ -127,7 +136,7 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 			} else {
 				//bfs:hot static fetch loop: one atomic fetch per task, must not allocate
 				for {
-					rg, ok := job.tq.FetchLocal(workerID)
+					rg, ok := job.tq.FetchLocal(workerID) //bfs:bounds-ok inlined queue-slot indexing; workerID < NumWorkers by construction
 					if !ok {
 						break
 					}
@@ -137,9 +146,9 @@ func (p *Pool) workerLoop(workerID int, lockThread bool) {
 			}
 		}()
 		elapsed := time.Since(start)
-		p.busy[workerID] += elapsed
+		p.busy[workerID].d += elapsed
 		if job.timings != nil {
-			job.timings[workerID] = elapsed
+			job.timings[workerID] = elapsed //bfs:share-ok one write per worker per phase into a caller-visible result slice; padding would leak into ParallelForTimed's API
 		}
 		job.done.Done()
 	}
@@ -190,16 +199,20 @@ func (p *Pool) ParallelForTimed(tq *TaskQueues, steal bool, body func(workerID i
 
 // ResetBusy zeroes the accumulated per-worker busy time counters.
 func (p *Pool) ResetBusy() {
-	for i := range p.busy {
-		p.busy[i] = 0
+	busy := p.busy
+	for i := range busy {
+		busy[i].d = 0
 	}
 }
 
 // Busy returns a copy of the accumulated per-worker busy times since the
 // last ResetBusy. It must not be called while a phase is running.
 func (p *Pool) Busy() []time.Duration {
-	out := make([]time.Duration, len(p.busy))
-	copy(out, p.busy)
+	busy := p.busy
+	out := make([]time.Duration, len(busy))
+	for i := range busy {
+		out[i] = busy[i].d
+	}
 	return out
 }
 

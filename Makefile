@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet gate gate-update race debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
+.PHONY: all build test lint vet gate gate-update race cluster-test debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
 
 all: build
 
@@ -48,6 +48,15 @@ gate-update:
 race:
 	$(GO) test -race -short $(PKGS)
 
+# cluster-test = the sharded-BFS suite under the race detector: the whole
+# cluster package (delta codec, partitioner, wire layer, in-process
+# multi-shard harness incl. the shard-kill-mid-query test), plus the
+# cluster-backed integration tests in internal/server and bfsd cluster
+# mode. See docs/CLUSTER.md.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/...
+	$(GO) test -race -count=1 -run 'Cluster' ./internal/server/ ./cmd/bfsd/
+
 # debug = the test suite with the bfsdebug invariant layer live
 # (per-iteration frontier/seen cross-checks + reference-BFS distance
 # verification; see docs/ANALYSIS.md).
@@ -84,9 +93,10 @@ perf-compare:
 # burst per target. Catches loader regressions without a long fuzz session.
 FUZZTIME ?= 10s
 fuzz-smoke:
-	$(GO) test -run '^Fuzz' ./internal/graph/
+	$(GO) test -run '^Fuzz' ./internal/graph/ ./internal/cluster/
 	$(GO) test -fuzz '^FuzzLoadEdgeList$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+	$(GO) test -fuzz '^FuzzFrontierCodec$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 
 # obs-smoke = end-to-end check of the observability surface: bfsd debug
 # endpoints (pprof, flight recorder) and the bfsrun Chrome trace export
@@ -95,4 +105,4 @@ obs-smoke:
 	./scripts/obs_smoke.sh
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint gate test race debug obs-smoke
+ci: build lint gate test race cluster-test debug obs-smoke

@@ -9,6 +9,14 @@
 //	     -workers 8 -batchwords 4 -flush 2ms
 //	bfsd -graph demo=kron:scale=14 -debug-addr 127.0.0.1:6060
 //
+// Cluster mode shards each graph's vertex range across bfsd shard
+// processes (1D partitioning with bitset-compressed frontier exchange;
+// see docs/CLUSTER.md). Start the shards first, then the coordinator:
+//
+//	bfsd -shard :9001 &
+//	bfsd -shard :9002 &
+//	bfsd -graph demo=kron:scale=20 -shards host1:9001,host2:9002 -addr :8080
+//
 // Endpoints: POST /bfs /closeness /reachability /khop;
 // GET /graphs /healthz /metrics. With -debug-addr a second, separate
 // listener serves the debug surface (pprof, runtime/trace capture, the
@@ -24,13 +32,16 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -77,6 +88,8 @@ func main() {
 		slowQuery  = flag.Duration("slow-query", server.DefaultSlowQuery, "latency above which a request enters the slow-query log and is logged")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		shardAddr  = flag.String("shard", "", "run as a cluster shard listening on this address (no -graph/-addr; see docs/CLUSTER.md)")
+		shardList  = flag.String("shards", "", "comma-separated shard addresses; serve every -graph from this shard cluster instead of in-process")
 	)
 	flag.Parse()
 
@@ -85,7 +98,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bfsd:", err)
 		os.Exit(1)
 	}
-	if err := run(logger, graphs, *addr, *debugAddr, server.Config{
+	if *shardAddr != "" {
+		if len(graphs) > 0 || *shardList != "" {
+			logger.Error("-shard is exclusive with -graph and -shards")
+			os.Exit(1)
+		}
+		if err := runShard(logger, *shardAddr, *workers); err != nil {
+			logger.Error("exiting", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var shards []string
+	if *shardList != "" {
+		shards = strings.Split(*shardList, ",")
+	}
+	if err := run(logger, graphs, *addr, *debugAddr, shards, server.Config{
 		Workers:        *workers,
 		BatchWords:     *batchWords,
 		MaxBatch:       *maxBatch,
@@ -115,7 +143,35 @@ func newLogger(w *os.File, asJSON bool, level string) (*slog.Logger, error) {
 	return slog.New(h), nil
 }
 
-func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string,
+// runShard serves one cluster shard: a bare TCP protocol server owning a
+// vertex slice of every graph the coordinator ships, no HTTP surface.
+func runShard(logger *slog.Logger, addr string, workers int) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sh := cluster.NewShard(cluster.ShardOptions{Workers: workers})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	//bfs:detached shard serve goroutine; joined via the errc channel below
+	go func() {
+		errc <- sh.Serve(lis)
+	}()
+	logger.Info("shard listening", "addr", lis.Addr().String(), "workers", workers)
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	logger.Info("signal received; closing shard")
+	sh.Close()
+	<-errc
+	logger.Info("shard drained cleanly")
+	return nil
+}
+
+func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string, shards []string,
 	cfg server.Config, slowQuery, drainWait time.Duration) error {
 	if len(graphs) == 0 {
 		return errors.New("no graphs to serve (pass at least one -graph NAME=SPEC)")
@@ -123,14 +179,35 @@ func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string,
 	reg := server.NewRegistry()
 	reg.SetLogger(logger)
 	reg.SetSlowQuery(slowQuery)
-	for name, spec := range graphs {
-		start := time.Now()
-		e, err := reg.Load(name, spec, cfg)
+	var coord *cluster.Coordinator
+	if len(shards) > 0 {
+		var err error
+		coord, err = cluster.NewCoordinator(context.Background(), shards,
+			cluster.CoordinatorOptions{Tracer: reg.Tracer()})
 		if err != nil {
 			return err
 		}
+		defer coord.Close()
+		logger.Info("cluster attached", "shards", len(shards))
+	}
+	for name, spec := range graphs {
+		start := time.Now()
+		var e *server.Entry
+		var err error
+		if coord != nil {
+			e, err = reg.LoadCluster(context.Background(), name, spec, coord, cfg)
+		} else {
+			e, err = reg.Load(name, spec, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		backend := "local"
+		if coord != nil {
+			backend = fmt.Sprintf("cluster/%d-shards", coord.NumShards())
+		}
 		logger.Info("graph loaded",
-			"graph", name, "spec", spec,
+			"graph", name, "spec", spec, "backend", backend,
 			"vertices", e.G.NumVertices(), "edges", e.G.NumEdges(),
 			"relabel", "striped", "elapsed", time.Since(start).Round(time.Millisecond))
 	}

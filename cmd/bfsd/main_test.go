@@ -51,10 +51,10 @@ func TestGraphFlags(t *testing.T) {
 }
 
 func TestRunRequiresGraphs(t *testing.T) {
-	if err := run(testLogger(), graphFlags{}, ":0", "", server.Config{}, 0, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{}, ":0", "", nil, server.Config{}, 0, time.Second); err == nil {
 		t.Error("run with no graphs must fail")
 	}
-	if err := run(testLogger(), graphFlags{"g": "warp:n=1"}, ":0", "", server.Config{}, 0, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{"g": "warp:n=1"}, ":0", "", nil, server.Config{}, 0, time.Second); err == nil {
 		t.Error("run with a bad spec must fail")
 	}
 }
@@ -80,7 +80,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run(testLogger(), graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
-			debugAddr, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
+			debugAddr, nil, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
 			server.DefaultSlowQuery, 5*time.Second)
 	}()
 
@@ -161,6 +161,96 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + debugAddr + "/debug/flightrecorder"); err == nil {
 		t.Error("debug listener still accepting after drain")
+	}
+}
+
+// TestRunClusterMode boots two shard processes' worth of runShard plus a
+// coordinator daemon serving one graph from them, queries it, then SIGTERMs
+// the lot and expects every mode to drain cleanly.
+func TestRunClusterMode(t *testing.T) {
+	shardA, shardB := freeAddr(t), freeAddr(t)
+	addr := freeAddr(t)
+
+	shardDone := make(chan error, 2)
+	for _, sa := range []string{shardA, shardB} {
+		go func(sa string) {
+			shardDone <- runShard(testLogger(), sa, 2)
+		}(sa)
+	}
+	// The coordinator dials at startup, so wait for the shard listeners.
+	for _, sa := range []string{shardA, shardB} {
+		var up bool
+		for i := 0; i < 200; i++ {
+			if c, err := net.Dial("tcp", sa); err == nil {
+				c.Close()
+				up = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !up {
+			t.Fatalf("shard %s never started listening", sa)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(testLogger(), graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
+			"", []string{shardA, shardB}, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
+			server.DefaultSlowQuery, 5*time.Second)
+	}()
+
+	base := "http://" + addr
+	var up bool
+	for i := 0; i < 200; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !up {
+		t.Fatal("daemon never became healthy")
+	}
+
+	resp, err := http.Post(base+"/bfs", "application/json",
+		strings.NewReader(`{"graph":"demo","source":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Visited int64 `json:"visited"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Visited < 1 {
+		t.Errorf("cluster bfs: status %d visited %d", resp.StatusCode, qr.Visited)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(15 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("coordinator drain returned %v", err)
+			}
+		case err := <-shardDone:
+			if err != nil {
+				t.Errorf("shard drain returned %v", err)
+			}
+		case <-deadline:
+			t.Fatal("cluster did not drain after SIGTERM")
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -13,9 +14,11 @@ import (
 )
 
 // tinyRunArgs keeps CLI-level suite runs fast: smallest graph the source
-// workload fits, minimal repetitions.
+// workload fits, few repetitions. Not fewer than 5 reps: the gate test
+// compares two of these runs, and with 3 samples a single noisy-neighbor
+// spike widens the bootstrap CI enough to swallow even the 2x handicap.
 func tinyRunArgs(extra ...string) []string {
-	args := []string{"-quick", "-scale", "9", "-workers", "2", "-reps", "3", "-warmup", "1"}
+	args := []string{"-quick", "-scale", "9", "-workers", "2", "-reps", "5", "-warmup", "1"}
 	return append(args, extra...)
 }
 
@@ -55,37 +58,55 @@ func TestCompareCLIGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the measured suite; skipped with -short")
 	}
-	dir := t.TempDir()
-	base := filepath.Join(dir, "base.json")
-	same := filepath.Join(dir, "same.json")
-	slow := filepath.Join(dir, "slow.json")
-	var discard bytes.Buffer
-	if err := runCmd(tinyRunArgs("-out", base), &discard); err != nil {
-		t.Fatal(err)
-	}
-	if err := runCmd(tinyRunArgs("-out", same), &discard); err != nil {
-		t.Fatal(err)
-	}
-	if err := runCmd(tinyRunArgs("-out", slow, "-handicap", "mspbfs/auto=2"), &discard); err != nil {
-		t.Fatal(err)
-	}
+	// This test validates the gate's *logic* — clean runs compare clean,
+	// an injected 2x handicap is flagged — with real measured runs. On a
+	// loaded CI container (often a single core) a noisy-neighbor spike
+	// during one of the tiny runs can fake either outcome, so a noisy
+	// attempt is retried with fresh measurements rather than failed; a
+	// logic bug fails every attempt and still fails the test.
+	const attempts = 3
+	var lastFail string
+	for a := 1; a <= attempts; a++ {
+		dir := t.TempDir()
+		base := filepath.Join(dir, "base.json")
+		same := filepath.Join(dir, "same.json")
+		slow := filepath.Join(dir, "slow.json")
+		var discard bytes.Buffer
+		if err := runCmd(tinyRunArgs("-out", base), &discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := runCmd(tinyRunArgs("-out", same), &discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := runCmd(tinyRunArgs("-out", slow, "-handicap", "mspbfs/auto=2"), &discard); err != nil {
+			t.Fatal(err)
+		}
 
-	var buf bytes.Buffer
-	if err := compareCmd([]string{base, same}, &buf); err != nil {
-		t.Errorf("same-machine back-to-back compare failed: %v\n%s", err, buf.String())
-	}
+		var buf bytes.Buffer
+		if err := compareCmd([]string{base, same}, &buf); err != nil {
+			lastFail = fmt.Sprintf("same-machine back-to-back compare failed: %v\n%s", err, buf.String())
+			t.Logf("attempt %d/%d: %s", a, attempts, lastFail)
+			continue
+		}
 
-	buf.Reset()
-	err := compareCmd([]string{base, slow}, &buf)
-	if err == nil {
-		t.Fatalf("2x handicapped run not gated:\n%s", buf.String())
+		buf.Reset()
+		err := compareCmd([]string{base, slow}, &buf)
+		if err == nil {
+			lastFail = fmt.Sprintf("2x handicapped run not gated:\n%s", buf.String())
+			t.Logf("attempt %d/%d: %s", a, attempts, lastFail)
+			continue
+		}
+		// The remaining checks are deterministic given a gated compare: a
+		// failure here is a real bug, not measurement noise.
+		if !strings.Contains(err.Error(), "regression") {
+			t.Errorf("gate error = %v", err)
+		}
+		if !strings.Contains(buf.String(), "mspbfs/auto") {
+			t.Errorf("delta table missing the slowed scenario:\n%s", buf.String())
+		}
+		return
 	}
-	if !strings.Contains(err.Error(), "regression") {
-		t.Errorf("gate error = %v", err)
-	}
-	if !strings.Contains(buf.String(), "mspbfs/auto") {
-		t.Errorf("delta table missing the slowed scenario:\n%s", buf.String())
-	}
+	t.Fatalf("all %d attempts hit a wrong gate outcome; last: %s", attempts, lastFail)
 }
 
 func TestCompareCLIErrors(t *testing.T) {

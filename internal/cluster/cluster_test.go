@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	msbfs "repro"
+	"repro/internal/obs"
+)
+
+func startCluster(t *testing.T, shards int, coordOpt CoordinatorOptions) *Inproc {
+	t.Helper()
+	ip, err := StartInproc(context.Background(), shards,
+		ShardOptions{Workers: 2, StepTimeout: DefaultInprocStepTimeout}, coordOpt)
+	if err != nil {
+		t.Fatalf("StartInproc(%d): %v", shards, err)
+	}
+	t.Cleanup(ip.Close)
+	return ip
+}
+
+// checkOracle loads g into a cluster of the given width, runs sources
+// through it, and requires byte-identical level arrays and matching
+// visited-state counts against the single-process kernel.
+func checkOracle(t *testing.T, g *msbfs.Graph, shards int, sources []int, opt msbfs.Options) {
+	t.Helper()
+	opt.RecordLevels = true
+	want := g.MultiBFS(sources, opt)
+
+	ip := startCluster(t, shards, CoordinatorOptions{})
+	rg, err := ip.Coord.LoadGraph(context.Background(), "oracle", g, 2)
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	type visitEvent struct{ src, v, depth int }
+	var events []visitEvent
+	got, err := rg.RunBatch(context.Background(), sources, opt,
+		func(workerID, sourceIdx, vertex, depth int) {
+			events = append(events, visitEvent{sourceIdx, vertex, depth})
+		})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+
+	if got.VisitedStates != want.VisitedStates {
+		t.Errorf("shards=%d: VisitedStates=%d, want %d", shards, got.VisitedStates, want.VisitedStates)
+	}
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("shards=%d: %d level rows, want %d", shards, len(got.Levels), len(want.Levels))
+	}
+	for i := range want.Levels {
+		for v := range want.Levels[i] {
+			if got.Levels[i][v] != want.Levels[i][v] {
+				t.Fatalf("shards=%d: source %d (vertex %d): level[%d]=%d, want %d",
+					shards, i, sources[i], v, got.Levels[i][v], want.Levels[i][v])
+			}
+		}
+	}
+	// The visit stream must carry exactly the non-seed discoveries plus
+	// the seeds, each consistent with the level arrays.
+	for _, e := range events {
+		if lv := want.Levels[e.src][e.v]; int(lv) != e.depth {
+			t.Fatalf("shards=%d: visit(%d,%d,%d) disagrees with level %d", shards, e.src, e.v, e.depth, lv)
+		}
+	}
+	var wantEvents int
+	for i := range want.Levels {
+		for _, lv := range want.Levels[i] {
+			if lv != msbfs.NoLevel {
+				wantEvents++
+			}
+		}
+	}
+	if len(events) != wantEvents {
+		t.Errorf("shards=%d: %d visit events, want %d", shards, len(events), wantEvents)
+	}
+}
+
+func TestClusterMatchesSingleProcessKronecker(t *testing.T) {
+	g := msbfs.GenerateKronecker(10, 8, 7)
+	sources := g.RandomSources(5, 11)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			checkOracle(t, g, shards, sources, msbfs.Options{Workers: 2})
+		})
+	}
+}
+
+func TestClusterWideBatchSplits(t *testing.T) {
+	// 70 sources with BatchWords=1 force two sequential 64-wide cluster
+	// batches inside one RunBatch.
+	g := msbfs.GenerateKronecker(9, 6, 3)
+	sources := g.RandomSources(70, 5)
+	checkOracle(t, g, 2, sources, msbfs.Options{Workers: 2, BatchWords: 1})
+}
+
+func TestClusterMaxDepth(t *testing.T) {
+	g := msbfs.GenerateKronecker(9, 8, 13)
+	sources := g.RandomSources(3, 17)
+	checkOracle(t, g, 2, sources, msbfs.Options{Workers: 2, MaxDepth: 2})
+}
+
+// pathGraph builds a chain 0-1-2-...-n-1: every interior partition
+// boundary cuts exactly one edge, and BFS needs ~n levels, maximizing
+// barrier rounds.
+func pathGraph(n int) *msbfs.Graph {
+	edges := make([]msbfs.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, msbfs.Edge{U: uint32(v), V: uint32(v + 1)})
+	}
+	return msbfs.NewGraph(n, edges)
+}
+
+func TestClusterAdversarialPartitions(t *testing.T) {
+	t.Run("isolated-vertices", func(t *testing.T) {
+		// Vertices above 200 have no edges at all; shards 2..3 of a
+		// 4-way partition own almost only isolated vertices.
+		edges := []msbfs.Edge{}
+		for v := 0; v+1 < 200; v++ {
+			edges = append(edges, msbfs.Edge{U: uint32(v), V: uint32(v + 1)})
+		}
+		g := msbfs.NewGraph(400, edges)
+		checkOracle(t, g, 4, []int{0, 199, 350}, msbfs.Options{Workers: 2})
+	})
+	t.Run("all-remote-neighbors", func(t *testing.T) {
+		// Complete bipartite between the first and last 64-vertex
+		// slices: every edge from shard 0 lands in shard 3, so every
+		// frontier crosses the wire and none stays local.
+		const n = 256
+		var edges []msbfs.Edge
+		for u := 0; u < 64; u++ {
+			for v := n - 64; v < n; v++ {
+				edges = append(edges, msbfs.Edge{U: uint32(u), V: uint32(v)})
+			}
+		}
+		g := msbfs.NewGraph(n, edges)
+		checkOracle(t, g, 4, []int{0, 63, n - 1, 128}, msbfs.Options{Workers: 2})
+	})
+	t.Run("clustered-sources", func(t *testing.T) {
+		// All sources live in shard 0 of a 4-way split; the other shards
+		// start with empty frontiers and fill purely from deltas.
+		g := msbfs.GenerateKronecker(10, 8, 19)
+		lo, hi := MakePartition(g.NumVertices(), 4).Range(0)
+		sources := []int{lo, lo + 1, (lo + hi) / 2, hi - 1}
+		checkOracle(t, g, 4, sources, msbfs.Options{Workers: 2})
+	})
+	t.Run("empty-shards", func(t *testing.T) {
+		// 100 vertices over 4 shards leave shards 2 and 3 with zero
+		// vertices; the barrier must not wait on deltas from them.
+		checkOracle(t, pathGraph(100), 4, []int{0, 99, 50}, msbfs.Options{Workers: 2})
+	})
+	t.Run("long-path", func(t *testing.T) {
+		checkOracle(t, pathGraph(512), 4, []int{0, 511}, msbfs.Options{Workers: 2})
+	})
+}
+
+func TestClusterMultipleGraphsAndQueries(t *testing.T) {
+	ip := startCluster(t, 2, CoordinatorOptions{})
+	g1 := msbfs.GenerateKronecker(9, 8, 23)
+	g2 := pathGraph(300)
+	rg1, err := ip.Coord.LoadGraph(context.Background(), "a", g1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg2, err := ip.Coord.LoadGraph(context.Background(), "b", g2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved concurrent queries against both graphs must not cross
+	// wires (distinct qids route each delta to its own query state).
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rg, g := rg1, g1
+			if i%2 == 1 {
+				rg, g = rg2, g2
+			}
+			sources := g.RandomSources(3, uint64(i+1))
+			opt := msbfs.Options{Workers: 2, RecordLevels: true}
+			want := g.MultiBFS(sources, opt)
+			got, err := rg.RunBatch(context.Background(), sources, opt, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for s := range want.Levels {
+				for v := range want.Levels[s] {
+					if got.Levels[s][v] != want.Levels[s][v] {
+						errs[i] = fmt.Errorf("query %d: level mismatch at source %d vertex %d", i, s, v)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ip.Coord.Metrics().Queries.Load(); got != 8 {
+		t.Errorf("Queries=%d, want 8", got)
+	}
+}
+
+func TestClusterInvalidRequests(t *testing.T) {
+	ip := startCluster(t, 2, CoordinatorOptions{})
+	g := pathGraph(128)
+	rg, err := ip.Coord.LoadGraph(context.Background(), "g", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rg.RunBatch(context.Background(), []int{128}, msbfs.Options{}, nil); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := rg.RunBatch(context.Background(), []int{-1}, msbfs.Options{}, nil); err == nil {
+		t.Error("negative source accepted")
+	}
+	// A stale graph name (shard restarted, coordinator reattached) must
+	// error cleanly, not hang the barrier.
+	stale := &RemoteGraph{c: ip.Coord, name: "nope", n: 128, part: MakePartition(128, 2)}
+	if _, err := stale.RunBatch(context.Background(), []int{0}, msbfs.Options{}, nil); err == nil {
+		t.Error("unknown graph accepted")
+	}
+	// The failed queries must not wedge the cluster for later ones.
+	if _, err := rg.RunBatch(context.Background(), []int{0}, msbfs.Options{}, nil); err != nil {
+		t.Fatalf("query after failed queries: %v", err)
+	}
+}
+
+func TestClusterContextCancellation(t *testing.T) {
+	ip := startCluster(t, 2, CoordinatorOptions{})
+	g := pathGraph(2048)
+	rg, err := ip.Coord.LoadGraph(context.Background(), "g", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rg.RunBatch(ctx, []int{0}, msbfs.Options{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err=%v, want context.Canceled", err)
+	}
+	// Expired deadlines propagate as RPC failures too.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := rg.RunBatch(dctx, []int{0}, msbfs.Options{}, nil); err == nil {
+		t.Fatal("expired deadline accepted")
+	}
+	// The cluster keeps serving once a live context is supplied.
+	if _, err := rg.RunBatch(context.Background(), []int{0}, msbfs.Options{}, nil); err != nil {
+		t.Fatalf("query after cancelled queries: %v", err)
+	}
+}
+
+// TestClusterShardKillMidQuery kills a shard while queries stream through
+// the barrier and requires a prompt typed failure, not a hang. Run under
+// -race this also shakes the teardown paths.
+func TestClusterShardKillMidQuery(t *testing.T) {
+	ip, err := StartInproc(context.Background(), 4,
+		ShardOptions{Workers: 2, StepTimeout: 2 * time.Second}, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	// A long path means thousands of barrier rounds: the kill always
+	// lands mid-query.
+	g := pathGraph(1 << 14)
+	rg, err := ip.Coord.LoadGraph(context.Background(), "g", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := rg.RunBatch(context.Background(), []int{0}, msbfs.Options{RecordLevels: true}, nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	ip.KillShard(2)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrShardDown) {
+			t.Fatalf("query after shard kill: err=%v, want ErrShardDown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not fail after shard kill")
+	}
+	// Follow-up queries fail fast with the same typed error instead of
+	// timing out against the dead shard.
+	start := time.Now()
+	if _, err := rg.RunBatch(context.Background(), []int{0}, msbfs.Options{}, nil); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("query against dead shard: err=%v, want ErrShardDown", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("dead-shard query took %v, want fail-fast", since)
+	}
+	if ip.Coord.Metrics().QueryErrors.Load() == 0 {
+		t.Error("QueryErrors not incremented")
+	}
+}
+
+// TestClusterCompressionRatio checks the flight record carries the delta
+// exchange volume and that sparse-frontier iterations compress below the
+// raw bitset size.
+func TestClusterCompressionRatio(t *testing.T) {
+	tracer := obs.NewTracer()
+	ip := startCluster(t, 4, CoordinatorOptions{Tracer: tracer})
+	// A long path has one-vertex frontiers: maximally sparse deltas.
+	g := pathGraph(4096)
+	rg, err := ip.Coord.LoadGraph(context.Background(), "g", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rg.RunBatch(context.Background(), []int{0}, msbfs.Options{RecordLevels: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Snapshot()
+	if len(tr.Traversals) != 1 {
+		t.Fatalf("%d traversals recorded, want 1", len(tr.Traversals))
+	}
+	tv := tr.Traversals[0]
+	if tv.Algo != "cluster/ms-pbfs" {
+		t.Errorf("algo %q", tv.Algo)
+	}
+	var exchanged, compressed int
+	for _, rec := range tv.Iterations {
+		if rec.ExchangeRawBytes == 0 {
+			continue
+		}
+		exchanged++
+		if ratio := rec.CompressionRatio(); ratio < 1.0 {
+			compressed++
+		}
+	}
+	if exchanged == 0 {
+		t.Fatal("no iteration recorded exchange bytes")
+	}
+	if compressed == 0 {
+		t.Fatal("no sparse-frontier iteration compressed below raw size")
+	}
+	met := ip.Coord.Metrics()
+	if met.FrontierRawBytes.Load() == 0 {
+		t.Fatal("FrontierRawBytes metric stayed zero")
+	}
+	if r := met.CompressionRatio(); r <= 0 || r >= 1.0 {
+		t.Errorf("cluster-wide compression ratio %.3f, want (0,1) on a path graph", r)
+	}
+}
+
+func TestClusterMetricsWriteTo(t *testing.T) {
+	m := &Metrics{}
+	m.FrontierBytes.Store(100)
+	m.FrontierRawBytes.Store(1000)
+	m.Queries.Add(3)
+	var sb strings.Builder
+	m.WriteTo(&sb, "g")
+	out := sb.String()
+	for _, want := range []string{
+		`bfsd_cluster_frontier_bytes_total{graph="g"} 100`,
+		`bfsd_cluster_frontier_raw_bytes_total{graph="g"} 1000`,
+		`bfsd_cluster_compression_ratio{graph="g"} 0.1000`,
+		`bfsd_cluster_queries_total{graph="g"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The delta-frontier codec encodes the per-iteration change a shard's scan
+// produced for a peer's vertex range: an n-row, stride-word-per-row k-wide
+// bitset in which most rows are zero on sparse-frontier iterations. Two
+// formats share one header byte; the encoder always emits the smaller:
+//
+//	dense  (0x00): the n*stride words verbatim, little-endian — the raw
+//	               bitset slab, chosen when the delta is dense enough that
+//	               row indexing would cost more than it saves.
+//	sparse (0x01): uvarint(count of nonzero rows), then per nonzero row in
+//	               ascending order: uvarint row-index gap (absolute index
+//	               for the first row, difference to the previous row after
+//	               that), one presence byte whose bit i says word i of the
+//	               row is nonzero, then the present words little-endian.
+//
+// This is the word-index/run-length scheme of the frontier-compression
+// paper (arXiv 1705.04590) specialized to the k-wide MS-BFS state: row
+// gaps are the run lengths, the presence byte prunes zero words inside a
+// row. decode ORs into the destination, matching how the receiving shard
+// folds remote contributions into its next frontier.
+
+const (
+	codecDense  = 0x00
+	codecSparse = 0x01
+
+	// presence bytes address at most 8 words per row — exactly the
+	// bitset.MaxWords the MS-BFS state supports.
+	codecMaxStride = 8
+)
+
+// rawBytes is the size of the uncompressed n-row stride-word bitset slab.
+func rawBytes(n, stride int) int { return n * stride * 8 }
+
+// encodeDelta appends the encoded delta for words (an n*stride row-major
+// word slab) to dst and returns the extended slice. stride must be in
+// [1, codecMaxStride].
+func encodeDelta(dst []byte, words []uint64, n, stride int) []byte {
+	if stride < 1 || stride > codecMaxStride {
+		panic(fmt.Sprintf("cluster: codec stride %d out of range [1,%d]", stride, codecMaxStride))
+	}
+	// First pass: size the sparse encoding without emitting it.
+	sparse := 1 // header
+	rows := 0
+	prev := 0
+	var gapBuf [binary.MaxVarintLen64]byte
+	for v := 0; v < n; v++ {
+		off := v * stride
+		present := 0
+		for i := 0; i < stride; i++ {
+			if words[off+i] != 0 {
+				present++
+			}
+		}
+		if present == 0 {
+			continue
+		}
+		gap := v
+		if rows > 0 {
+			gap = v - prev
+		}
+		sparse += binary.PutUvarint(gapBuf[:], uint64(gap)) + 1 + 8*present
+		prev = v
+		rows++
+	}
+	sparse += binary.PutUvarint(gapBuf[:], uint64(rows))
+
+	if dense := 1 + rawBytes(n, stride); sparse >= dense {
+		dst = append(dst, codecDense)
+		for _, w := range words[:n*stride] {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+		return dst
+	}
+
+	dst = append(dst, codecSparse)
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	prev = 0
+	emitted := 0
+	for v := 0; v < n; v++ {
+		off := v * stride
+		var present byte
+		for i := 0; i < stride; i++ {
+			if words[off+i] != 0 {
+				present |= 1 << uint(i)
+			}
+		}
+		if present == 0 {
+			continue
+		}
+		gap := v
+		if emitted > 0 {
+			gap = v - prev
+		}
+		dst = binary.AppendUvarint(dst, uint64(gap))
+		dst = append(dst, present)
+		for i := 0; i < stride; i++ {
+			if present&(1<<uint(i)) != 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, words[off+i])
+			}
+		}
+		prev = v
+		emitted++
+	}
+	return dst
+}
+
+// decodeDelta ORs an encoded delta into words (an n*stride row-major word
+// slab). It validates the payload exhaustively — truncated input, row
+// indices out of range or out of order, presence bits beyond the stride,
+// and trailing garbage are all errors — so arbitrary network bytes cannot
+// corrupt shard state or panic.
+func decodeDelta(payload []byte, words []uint64, n, stride int) error {
+	if stride < 1 || stride > codecMaxStride {
+		return fmt.Errorf("cluster: codec stride %d out of range [1,%d]", stride, codecMaxStride)
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("cluster: empty delta payload")
+	}
+	switch payload[0] {
+	case codecDense:
+		body := payload[1:]
+		if len(body) != rawBytes(n, stride) {
+			return fmt.Errorf("cluster: dense delta is %d bytes, want %d", len(body), rawBytes(n, stride))
+		}
+		for i := 0; i < n*stride; i++ {
+			words[i] |= binary.LittleEndian.Uint64(body[i*8:]) //bfs:singlewriter decode runs on the one goroutine that drains the delta inbox
+		}
+		return nil
+	case codecSparse:
+		body := payload[1:]
+		rows, used := binary.Uvarint(body)
+		if used <= 0 {
+			return fmt.Errorf("cluster: sparse delta: bad row count")
+		}
+		if rows > uint64(n) {
+			return fmt.Errorf("cluster: sparse delta: %d rows exceeds range length %d", rows, n)
+		}
+		body = body[used:]
+		v := 0
+		for r := uint64(0); r < rows; r++ {
+			gap, used := binary.Uvarint(body)
+			if used <= 0 {
+				return fmt.Errorf("cluster: sparse delta: truncated at row %d", r)
+			}
+			body = body[used:]
+			if r == 0 {
+				v = int(gap)
+			} else {
+				if gap == 0 || gap > uint64(n) {
+					return fmt.Errorf("cluster: sparse delta: bad row gap %d", gap)
+				}
+				v += int(gap)
+			}
+			if v < 0 || v >= n {
+				return fmt.Errorf("cluster: sparse delta: row %d out of range [0,%d)", v, n)
+			}
+			if len(body) < 1 {
+				return fmt.Errorf("cluster: sparse delta: missing presence byte at row %d", v)
+			}
+			present := body[0]
+			body = body[1:]
+			if present == 0 || present>>uint(stride) != 0 {
+				return fmt.Errorf("cluster: sparse delta: presence byte %#02x invalid for stride %d", present, stride)
+			}
+			off := v * stride
+			for i := 0; i < stride; i++ {
+				if present&(1<<uint(i)) == 0 {
+					continue
+				}
+				if len(body) < 8 {
+					return fmt.Errorf("cluster: sparse delta: truncated word at row %d", v)
+				}
+				words[off+i] |= binary.LittleEndian.Uint64(body) //bfs:singlewriter decode runs on the one goroutine that drains the delta inbox
+				body = body[8:]
+			}
+		}
+		if len(body) != 0 {
+			return fmt.Errorf("cluster: sparse delta: %d trailing bytes", len(body))
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown delta format %#02x", payload[0])
+	}
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrShardDown reports that a shard's connection failed — the process
+// died, the network dropped, or an RPC outlived its deadline. Queries
+// against the affected graph fail fast with it; the coordinator itself
+// stays up and keeps serving graphs whose shards are alive. The HTTP
+// layer maps it to 503.
+var ErrShardDown = errors.New("cluster: shard down")
+
+// rpcError is a shard-reported request failure (msgErr reply). Unlike
+// ErrShardDown the connection is healthy and later requests may succeed.
+type rpcError struct{ msg string }
+
+func (e *rpcError) Error() string { return "cluster: shard error: " + e.msg }
+
+// rpcConn is the coordinator's end of a shard control connection. Many
+// RPCs may be in flight at once: each call registers a waiter under a
+// fresh request id, the single supervised read loop demultiplexes replies
+// back to their waiters, and a connection-level failure fails every
+// outstanding and future call with ErrShardDown.
+type rpcConn struct {
+	addr string
+	c    net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan rpcReply
+	down    error // sticky ErrShardDown cause; nil while healthy
+
+	wg sync.WaitGroup // supervises the read loop
+}
+
+type rpcReply struct {
+	typ     byte
+	payload []byte
+}
+
+// dialShard connects to a shard's control port.
+func dialShard(ctx context.Context, addr string) (*rpcConn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrShardDown, addr, err)
+	}
+	return newRPCConn(addr, c), nil
+}
+
+func newRPCConn(addr string, c net.Conn) *rpcConn {
+	rc := &rpcConn{addr: addr, c: c, waiters: make(map[uint64]chan rpcReply)}
+	rc.wg.Add(1)
+	go rc.readLoop()
+	return rc
+}
+
+// readLoop routes replies to waiters until the connection dies, then
+// fails every waiter.
+func (rc *rpcConn) readLoop() {
+	defer rc.wg.Done()
+	br := bufio.NewReaderSize(rc.c, 64<<10)
+	for {
+		typ, id, payload, err := readFrame(br)
+		if err != nil {
+			rc.fail(fmt.Errorf("%w: %s: %v", ErrShardDown, rc.addr, err))
+			return
+		}
+		rc.mu.Lock()
+		ch, ok := rc.waiters[id]
+		if ok {
+			delete(rc.waiters, id)
+		}
+		rc.mu.Unlock()
+		if ok {
+			ch <- rpcReply{typ: typ, payload: payload} // buffered; never blocks
+		}
+	}
+}
+
+func (rc *rpcConn) fail(cause error) {
+	rc.mu.Lock()
+	if rc.down == nil {
+		rc.down = cause
+	}
+	waiters := rc.waiters
+	rc.waiters = make(map[uint64]chan rpcReply)
+	rc.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// call issues one RPC and waits for its reply, honoring ctx: on
+// cancellation or deadline the waiter is abandoned (a late reply is
+// dropped by the read loop) and the ctx error is returned.
+func (rc *rpcConn) call(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+	// An already-dead ctx must not reach the socket: its deadline would
+	// time the write out mid-frame and poison the shared stream for
+	// every later caller.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	if rc.down != nil {
+		err := rc.down
+		rc.mu.Unlock()
+		return nil, err
+	}
+	rc.nextID++
+	id := rc.nextID
+	ch := make(chan rpcReply, 1)
+	rc.waiters[id] = ch
+	rc.mu.Unlock()
+
+	// Propagate the request deadline to the socket write so a dead peer
+	// cannot wedge the sender in a full-buffer Write.
+	rc.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		rc.c.SetWriteDeadline(dl)
+	} else {
+		rc.c.SetWriteDeadline(time.Time{})
+	}
+	err := writeFrame(rc.c, typ, id, payload)
+	rc.wmu.Unlock()
+	if err != nil {
+		rc.fail(fmt.Errorf("%w: %s: %v", ErrShardDown, rc.addr, err))
+		rc.dropWaiter(id)
+		rc.mu.Lock()
+		down := rc.down
+		rc.mu.Unlock()
+		return nil, down
+	}
+
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			rc.mu.Lock()
+			down := rc.down
+			rc.mu.Unlock()
+			if down == nil {
+				down = ErrShardDown
+			}
+			return nil, down
+		}
+		switch rep.typ {
+		case msgOK:
+			return rep.payload, nil
+		case msgErr:
+			return nil, &rpcError{msg: string(rep.payload)}
+		default:
+			return nil, fmt.Errorf("cluster: unexpected reply type %#02x from %s", rep.typ, rc.addr)
+		}
+	case <-ctx.Done():
+		rc.dropWaiter(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (rc *rpcConn) dropWaiter(id uint64) {
+	rc.mu.Lock()
+	delete(rc.waiters, id)
+	rc.mu.Unlock()
+}
+
+// healthy reports whether the connection has not failed.
+func (rc *rpcConn) healthy() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.down == nil
+}
+
+// close tears the connection down and waits for the read loop to exit.
+func (rc *rpcConn) close() {
+	rc.c.Close()
+	rc.wg.Wait()
+}
+
+// peerLink is a shard's outbound delta stream to one peer: write-only,
+// fire-and-forget, dialed lazily on first use after the peer set is
+// known. A send error marks the link broken; the in-flight step reports
+// the failure and later steps fail fast.
+type peerLink struct {
+	addr string
+
+	mu   sync.Mutex
+	c    net.Conn
+	down error
+}
+
+// send writes one delta frame, dialing on first use.
+func (pl *peerLink) send(qid uint64, payload []byte, timeout time.Duration) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.down != nil {
+		return pl.down
+	}
+	if pl.c == nil {
+		c, err := net.DialTimeout("tcp", pl.addr, timeout)
+		if err != nil {
+			pl.down = fmt.Errorf("%w: peer %s: %v", ErrShardDown, pl.addr, err)
+			return pl.down
+		}
+		pl.c = c
+	}
+	if timeout > 0 {
+		pl.c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	if err := writeFrame(pl.c, msgDelta, qid, payload); err != nil {
+		pl.down = fmt.Errorf("%w: peer %s: %v", ErrShardDown, pl.addr, err)
+		pl.c.Close()
+		pl.c = nil
+		return pl.down
+	}
+	return nil
+}
+
+func (pl *peerLink) close() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.c != nil {
+		pl.c.Close()
+		pl.c = nil
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Inproc is an in-process multi-shard cluster: N shard servers on
+// loopback listeners plus one connected coordinator, all inside the
+// current process. It makes the whole cluster mode tier-1-testable (and
+// benchmarkable) without any orchestration — the wire protocol, the
+// delta exchange, and the barrier all run over real TCP loopback
+// connections exactly as the multi-process deployment would.
+type Inproc struct {
+	Coord  *Coordinator
+	Shards []*Shard
+
+	wg sync.WaitGroup // supervises the shards' Serve loops
+}
+
+// StartInproc boots n shards on loopback and a coordinator attached to
+// them. Each shard gets its own engine, mirroring the process-per-shard
+// deployment. Close tears everything down.
+func StartInproc(ctx context.Context, n int, shardOpt ShardOptions, coordOpt CoordinatorOptions) (*Inproc, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: inproc needs at least one shard")
+	}
+	ip := &Inproc{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ip.Close()
+			return nil, err
+		}
+		addrs[i] = lis.Addr().String()
+		sh := NewShard(shardOpt)
+		ip.Shards = append(ip.Shards, sh)
+		ip.wg.Add(1)
+		go func() {
+			defer ip.wg.Done()
+			sh.Serve(lis)
+		}()
+	}
+	coord, err := NewCoordinator(ctx, addrs, coordOpt)
+	if err != nil {
+		ip.Close()
+		return nil, err
+	}
+	ip.Coord = coord
+	return ip, nil
+}
+
+// KillShard forcibly closes shard i — its listener, peer links, and all
+// engine state — simulating a process death mid-query. The coordinator's
+// next RPC against it fails with ErrShardDown.
+func (ip *Inproc) KillShard(i int) {
+	ip.Shards[i].Close()
+}
+
+// Close shuts the coordinator and every shard down and waits for all
+// serve loops to exit.
+func (ip *Inproc) Close() {
+	if ip.Coord != nil {
+		ip.Coord.Close()
+	}
+	for _, sh := range ip.Shards {
+		sh.Close()
+	}
+	ip.wg.Wait()
+}
+
+// DefaultInprocStepTimeout is a tighter barrier bound for in-process
+// clusters, where "peer never answers" only ever means a test killed it.
+const DefaultInprocStepTimeout = 10 * time.Second

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Metrics aggregates one coordinator's cluster-serving statistics. All
+// fields are safe for concurrent update; bfsd's /metrics endpoint renders
+// a snapshot per cluster-backed graph.
+type Metrics struct {
+	// FrontierBytes counts delta-frontier bytes shipped between shards
+	// (post-codec); FrontierRawBytes is what the same exchanges would have
+	// cost as uncompressed bitset slabs. Their ratio is the cluster-wide
+	// compression ratio.
+	FrontierBytes    atomic.Int64
+	FrontierRawBytes atomic.Int64
+
+	// RPCs counts coordinator→shard calls; RPCSeconds is their latency
+	// distribution (ns recorded, seconds exported).
+	RPCs       atomic.Int64
+	RPCSeconds metrics.Histogram
+
+	// Queries and QueryErrors count cluster batch traversals and their
+	// failures (shard-down, barrier timeouts).
+	Queries     atomic.Int64
+	QueryErrors atomic.Int64
+}
+
+// CompressionRatio returns FrontierBytes/FrontierRawBytes, or 0 before
+// any exchange.
+func (m *Metrics) CompressionRatio() float64 {
+	raw := m.FrontierRawBytes.Load()
+	if raw == 0 {
+		return 0
+	}
+	return float64(m.FrontierBytes.Load()) / float64(raw)
+}
+
+// observeRPC records one coordinator→shard call.
+func (m *Metrics) observeRPC(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.RPCs.Add(1)
+	m.RPCSeconds.RecordDuration(d)
+}
+
+// WriteTo renders the metrics in the Prometheus text exposition format,
+// labelled with the graph name (matching the bfsd_* metric family).
+func (m *Metrics) WriteTo(w io.Writer, graph string) {
+	l := fmt.Sprintf("{graph=%q}", graph)
+	fmt.Fprintf(w, "bfsd_cluster_frontier_bytes_total%s %d\n", l, m.FrontierBytes.Load())
+	fmt.Fprintf(w, "bfsd_cluster_frontier_raw_bytes_total%s %d\n", l, m.FrontierRawBytes.Load())
+	fmt.Fprintf(w, "bfsd_cluster_compression_ratio%s %.4f\n", l, m.CompressionRatio())
+	fmt.Fprintf(w, "bfsd_cluster_rpcs_total%s %d\n", l, m.RPCs.Load())
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{
+		{"p50", m.RPCSeconds.P50()},
+		{"p95", m.RPCSeconds.P95()},
+		{"p99", m.RPCSeconds.P99()},
+	} {
+		fmt.Fprintf(w, "bfsd_cluster_rpc_seconds{graph=%q,quantile=%q} %.6f\n",
+			graph, q.name, time.Duration(q.v).Seconds())
+	}
+	fmt.Fprintf(w, "bfsd_cluster_queries_total%s %d\n", l, m.Queries.Load())
+	fmt.Fprintf(w, "bfsd_cluster_query_errors_total%s %d\n", l, m.QueryErrors.Load())
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import "testing"
+
+func TestMakePartitionProperties(t *testing.T) {
+	cases := []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {64, 1}, {100, 1},
+		{1, 2}, {64, 2}, {100, 2}, {128, 2}, {129, 2},
+		{100, 4}, {256, 4}, {1000, 4}, {1 << 16, 4},
+		{63, 8}, {64, 8}, {10000, 8},
+	}
+	for _, tc := range cases {
+		p := MakePartition(tc.n, tc.shards)
+		if p.N() != tc.n {
+			t.Fatalf("n=%d shards=%d: N()=%d", tc.n, tc.shards, p.N())
+		}
+		if p.NumShards() != tc.shards {
+			t.Fatalf("n=%d shards=%d: NumShards()=%d", tc.n, tc.shards, p.NumShards())
+		}
+		// Ranges tile [0, n) contiguously.
+		want := 0
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := p.Range(s)
+			if lo != want {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, s, lo, want)
+			}
+			if hi < lo || hi > tc.n {
+				t.Fatalf("n=%d shards=%d: shard %d range [%d,%d) out of bounds", tc.n, tc.shards, s, lo, hi)
+			}
+			if p.Len(s) != hi-lo {
+				t.Fatalf("n=%d shards=%d: Len(%d)=%d, want %d", tc.n, tc.shards, s, p.Len(s), hi-lo)
+			}
+			// Interior boundaries are 64-aligned so bitset rows never
+			// straddle shards; boundaries clamped to n belong to empty
+			// tail shards.
+			if lo%partStride != 0 && lo != tc.n {
+				t.Fatalf("n=%d shards=%d: shard %d starts at unaligned %d", tc.n, tc.shards, s, lo)
+			}
+			want = hi
+		}
+		if want != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges end at %d, want %d", tc.n, tc.shards, want, tc.n)
+		}
+		// Owner agrees with Range for every vertex.
+		for v := 0; v < tc.n; v++ {
+			s := p.Owner(v)
+			lo, hi := p.Range(s)
+			if v < lo || v >= hi {
+				t.Fatalf("n=%d shards=%d: Owner(%d)=%d but range is [%d,%d)", tc.n, tc.shards, v, s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMakePartitionEmptyShards(t *testing.T) {
+	// 100 vertices over 4 shards round up to one 64-wide and one 36-wide
+	// slice; the trailing shards own nothing and must still be valid.
+	p := MakePartition(100, 4)
+	if got := p.Len(0); got != 64 {
+		t.Fatalf("Len(0)=%d, want 64", got)
+	}
+	if got := p.Len(1); got != 36 {
+		t.Fatalf("Len(1)=%d, want 36", got)
+	}
+	for s := 2; s < 4; s++ {
+		if got := p.Len(s); got != 0 {
+			t.Fatalf("Len(%d)=%d, want 0", s, got)
+		}
+	}
+	if got := p.Owner(99); got != 1 {
+		t.Fatalf("Owner(99)=%d, want 1", got)
+	}
+}

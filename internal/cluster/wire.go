@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format. Every message is one length-prefixed frame:
+//
+//	uint32 BE  frame length (bytes after this field: 1 + 8 + len(payload))
+//	byte       message type
+//	uint64 BE  request id (coordinator RPCs demux replies by it; peer
+//	           delta frames carry the query id here)
+//	[]byte     payload (per-type encoding, little-endian fixed ints +
+//	           uvarints; see the message builders below)
+//
+// Coordinator→shard RPCs are strict request/reply pairs matched by
+// request id, so many requests can be in flight on one connection and
+// replies may arrive out of order. Shard→shard delta frames are
+// fire-and-forget: no reply, failures surface as connection errors on
+// the sender and a barrier timeout on the starved receiver.
+
+const (
+	// Coordinator → shard requests.
+	msgLoad   = 0x01 // load a graph slice: see encodeLoad
+	msgStart  = 0x02 // begin a query: graph name, k sources
+	msgStep   = 0x03 // run one BFS level
+	msgResult = 0x04 // fetch the query's level rows
+	msgEnd    = 0x05 // release the query's state
+	msgDrop   = 0x06 // unload a graph
+
+	// Shard → shard.
+	msgDelta = 0x10 // delta frontier: fromShard, level, codec payload
+
+	// Replies.
+	msgOK  = 0x20 // success; payload depends on the request type
+	msgErr = 0x21 // failure; payload is the error string
+)
+
+// maxFrame bounds accepted frame sizes. The largest legitimate frames are
+// graph-slice loads (adjacency of one shard) and dense level-row results;
+// 1 GiB leaves headroom for scale-25-class slices while stopping a
+// corrupted length prefix from allocating the universe.
+const maxFrame = 1 << 30
+
+const frameHeader = 1 + 8 // type + request id
+
+// writeFrame sends one frame as a single Write call so concurrent writers
+// (serialized by the caller's mutex) never interleave partial frames.
+func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
+	if len(payload)+frameHeader > maxFrame {
+		return fmt.Errorf("cluster: frame payload %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 4+frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(frameHeader+len(payload)))
+	buf[4] = typ
+	binary.BigEndian.PutUint64(buf[5:], id)
+	copy(buf[4+frameHeader:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame. The returned payload is freshly allocated
+// and safe to retain.
+func readFrame(r *bufio.Reader) (typ byte, id uint64, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size < frameHeader || size > maxFrame {
+		return 0, 0, nil, fmt.Errorf("cluster: bad frame length %d", size)
+	}
+	body := make([]byte, size)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[frameHeader:], nil
+}
+
+// Payload builders and parsers. Encodings are hand-rolled: uvarints for
+// counts and small ints, fixed little-endian for arrays (the same layout
+// the in-memory CSR and bitset slabs use, so encode/decode are straight
+// copies).
+
+type wireReader struct{ b []byte }
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errors.New("cluster: truncated uvarint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *wireReader) intv() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<40 {
+		return 0, fmt.Errorf("cluster: unreasonable count %d", v)
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, errors.New("cluster: truncated payload")
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.intv()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	return string(b), err
+}
+
+func (r *wireReader) done() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("cluster: %d trailing payload bytes", len(r.b))
+	}
+	return nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// loadMsg is the graph-slice load request: the shard's identity and
+// peers, the partition parameters (every shard derives the identical
+// Partition from n and the shard count), and the shard's local CSR slice.
+// Local offsets are rebased to the slice (localOff[0] == 0); adjacency
+// keeps global vertex ids, since neighbors routinely live on other shards.
+type loadMsg struct {
+	name      string
+	shardID   int
+	numShards int
+	n         int // global vertex count
+	workers   int // per-shard traversal parallelism
+	peers     []string
+	offsets   []int64  // rlen+1, rebased
+	adjacency []uint32 // global ids
+}
+
+func encodeLoad(m *loadMsg) []byte {
+	sz := len(m.name) + 64 + len(m.offsets)*8 + len(m.adjacency)*4
+	for _, p := range m.peers {
+		sz += len(p) + 4
+	}
+	dst := make([]byte, 0, sz)
+	dst = appendStr(dst, m.name)
+	dst = binary.AppendUvarint(dst, uint64(m.shardID))
+	dst = binary.AppendUvarint(dst, uint64(m.numShards))
+	dst = binary.AppendUvarint(dst, uint64(m.n))
+	dst = binary.AppendUvarint(dst, uint64(m.workers))
+	dst = binary.AppendUvarint(dst, uint64(len(m.peers)))
+	for _, p := range m.peers {
+		dst = appendStr(dst, p)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.offsets)))
+	for _, o := range m.offsets {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(o))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.adjacency)))
+	for _, a := range m.adjacency {
+		dst = binary.LittleEndian.AppendUint32(dst, a)
+	}
+	return dst
+}
+
+func decodeLoad(payload []byte) (*loadMsg, error) {
+	r := &wireReader{b: payload}
+	m := &loadMsg{}
+	var err error
+	if m.name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.shardID, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if m.numShards, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if m.n, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if m.workers, err = r.intv(); err != nil {
+		return nil, err
+	}
+	np, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	if np != m.numShards {
+		return nil, fmt.Errorf("cluster: load lists %d peers for %d shards", np, m.numShards)
+	}
+	m.peers = make([]string, np)
+	for i := range m.peers {
+		if m.peers[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	no, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	ob, err := r.bytes(no * 8)
+	if err != nil {
+		return nil, err
+	}
+	m.offsets = make([]int64, no)
+	for i := range m.offsets {
+		m.offsets[i] = int64(binary.LittleEndian.Uint64(ob[i*8:]))
+	}
+	na, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	ab, err := r.bytes(na * 4)
+	if err != nil {
+		return nil, err
+	}
+	m.adjacency = make([]uint32, na)
+	for i := range m.adjacency {
+		m.adjacency[i] = binary.LittleEndian.Uint32(ab[i*4:])
+	}
+	return m, r.done()
+}
+
+// startMsg begins a query: the cluster-unique query id (RPC request ids
+// are per-call, so the query id rides in the payload of every
+// query-scoped message), the target graph, and the batch's global source
+// vertices in slot order (slot i drives bit i of the k-wide state).
+type startMsg struct {
+	qid     uint64
+	name    string
+	sources []int
+}
+
+func encodeStart(qid uint64, name string, sources []int) []byte {
+	dst := make([]byte, 0, len(name)+16+len(sources)*4)
+	dst = binary.AppendUvarint(dst, qid)
+	dst = appendStr(dst, name)
+	dst = binary.AppendUvarint(dst, uint64(len(sources)))
+	for _, s := range sources {
+		dst = binary.AppendUvarint(dst, uint64(s))
+	}
+	return dst
+}
+
+func decodeStart(payload []byte) (*startMsg, error) {
+	r := &wireReader{b: payload}
+	m := &startMsg{}
+	var err error
+	if m.qid, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.name, err = r.str(); err != nil {
+		return nil, err
+	}
+	k, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	m.sources = make([]int, k)
+	for i := range m.sources {
+		if m.sources[i], err = r.intv(); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+// encodeQueryRef builds the payload of the query-scoped requests that
+// carry only the query id (msgResult, msgEnd) or the id plus the level
+// (msgStep).
+func encodeQueryRef(qid uint64, extra ...uint64) []byte {
+	dst := binary.AppendUvarint(make([]byte, 0, 16), qid)
+	for _, v := range extra {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	return dst
+}
+
+// stepDone is the per-shard reply to msgStep: how many new (vertex,
+// source) states entered the shard's next frontier, and the exchange
+// volume the shard sent this level (encoded vs raw bitset bytes).
+type stepDone struct {
+	nextStates int64
+	sentBytes  int64
+	rawBytes   int64
+}
+
+func encodeStepDone(d stepDone) []byte {
+	dst := make([]byte, 0, 3*binary.MaxVarintLen64)
+	dst = binary.AppendUvarint(dst, uint64(d.nextStates))
+	dst = binary.AppendUvarint(dst, uint64(d.sentBytes))
+	dst = binary.AppendUvarint(dst, uint64(d.rawBytes))
+	return dst
+}
+
+func decodeStepDone(payload []byte) (stepDone, error) {
+	r := &wireReader{b: payload}
+	var d stepDone
+	v, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	d.nextStates = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	d.sentBytes = int64(v)
+	if v, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	d.rawBytes = int64(v)
+	return d, r.done()
+}
+
+// deltaMsg is one shard→shard frontier delta (the frame's request id
+// carries the query id).
+type deltaMsg struct {
+	fromShard int
+	level     int
+	delta     []byte // codec payload
+}
+
+func encodeDelta32(m *deltaMsg) []byte {
+	dst := make([]byte, 0, 2*binary.MaxVarintLen64+len(m.delta))
+	dst = binary.AppendUvarint(dst, uint64(m.fromShard))
+	dst = binary.AppendUvarint(dst, uint64(m.level))
+	return append(dst, m.delta...)
+}
+
+func decodeDelta32(payload []byte) (*deltaMsg, error) {
+	r := &wireReader{b: payload}
+	m := &deltaMsg{}
+	var err error
+	if m.fromShard, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if m.level, err = r.intv(); err != nil {
+		return nil, err
+	}
+	m.delta = r.b
+	return m, nil
+}
+
+// resultMsg is the per-shard reply to msgResult: the query's k level rows
+// over the shard's rlen local vertices, row-major int32 little-endian
+// (NoLevel for unreached), prefixed by k and rlen for validation.
+func encodeResultRows(rows [][]int32, rlen int) []byte {
+	dst := make([]byte, 0, 16+len(rows)*rlen*4)
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	dst = binary.AppendUvarint(dst, uint64(rlen))
+	for _, row := range rows {
+		for _, lv := range row[:rlen] {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(lv))
+		}
+	}
+	return dst
+}
+
+func decodeResultRows(payload []byte) (k, rlen int, rows []byte, err error) {
+	r := &wireReader{b: payload}
+	if k, err = r.intv(); err != nil {
+		return 0, 0, nil, err
+	}
+	if rlen, err = r.intv(); err != nil {
+		return 0, 0, nil, err
+	}
+	if rows, err = r.bytes(k * rlen * 4); err != nil {
+		return 0, 0, nil, err
+	}
+	return k, rlen, rows, r.done()
+}

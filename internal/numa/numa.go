@@ -97,6 +97,35 @@ func StealOrder(t Topology) [][]int {
 	return order
 }
 
+// AlignedRanges splits [0, n) into parts contiguous ranges of near-equal
+// size whose borders are aligned to stride, and returns the parts+1 range
+// boundaries. It is the same border arithmetic PlaceFirstTouch relies on —
+// ownership changes only at aligned borders, so no aligned unit (a page
+// here, a bitset word for the cluster's vertex partition) ever straddles
+// two owners. Trailing ranges may be empty when n is small relative to
+// parts*stride.
+func AlignedRanges(n, parts, stride int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	per := (n + parts - 1) / parts
+	if rem := per % stride; rem != 0 {
+		per += stride - rem
+	}
+	starts := make([]int, parts+1)
+	for i := 1; i <= parts; i++ {
+		s := i * per
+		if s > n {
+			s = n
+		}
+		starts[i] = s
+	}
+	return starts
+}
+
 // PageMap records which NUMA region owns each page of one BFS array. Arrays
 // are described by their element size; vertex v's element occupies bytes
 // [v*elemBytes, (v+1)*elemBytes).

@@ -206,3 +206,36 @@ func TestProportionalMemoryShareAsymmetric(t *testing.T) {
 		}
 	}
 }
+
+func TestAlignedRanges(t *testing.T) {
+	cases := []struct {
+		n, parts, stride int
+	}{
+		{1000, 4, 64}, {1000, 1, 64}, {64, 4, 64}, {10, 4, 64},
+		{0, 4, 64}, {1 << 16, 3, 64}, {513, 2, 512}, {7, 0, 0},
+	}
+	for _, c := range cases {
+		b := AlignedRanges(c.n, c.parts, c.stride)
+		parts, stride := c.parts, c.stride
+		if parts < 1 {
+			parts = 1
+		}
+		if stride < 1 {
+			stride = 1
+		}
+		if len(b) != parts+1 {
+			t.Fatalf("AlignedRanges(%d,%d,%d): %d boundaries, want %d", c.n, c.parts, c.stride, len(b), parts+1)
+		}
+		if b[0] != 0 || b[parts] != c.n {
+			t.Fatalf("AlignedRanges(%d,%d,%d) = %v: must span [0, n]", c.n, c.parts, c.stride, b)
+		}
+		for i := 1; i <= parts; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("AlignedRanges(%d,%d,%d) = %v: boundary %d decreases", c.n, c.parts, c.stride, b, i)
+			}
+			if b[i] != c.n && b[i]%stride != 0 {
+				t.Fatalf("AlignedRanges(%d,%d,%d) = %v: interior boundary %d not stride-aligned", c.n, c.parts, c.stride, b, b[i])
+			}
+		}
+	}
+}

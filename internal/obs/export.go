@@ -43,9 +43,28 @@ func writeTraversalText(w io.Writer, tv *Traversal) error {
 		tv.ArenaHits, tv.ArenaMisses); err != nil {
 		return err
 	}
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\t")
+	exchanged := false
 	for _, it := range tv.Iterations {
+		if it.ExchangeRawBytes != 0 {
+			exchanged = true
+			break
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if exchanged {
+		fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\txbytes\txratio\t")
+	} else {
+		fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\t")
+	}
+	for _, it := range tv.Iterations {
+		if exchanged {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%.3f\t\n",
+				it.Iteration, it.Direction(), it.Reason,
+				it.Frontier, it.Next, it.Scanned, it.Visited,
+				fmtDur(it.Duration), it.Tasks(), it.Steals(),
+				it.ExchangeBytes, it.CompressionRatio())
+			continue
+		}
 		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t\n",
 			it.Iteration, it.Direction(), it.Reason,
 			it.Frontier, it.Next, it.Scanned, it.Visited,
@@ -147,6 +166,11 @@ func appendTraversalEvents(events []chromeEvent, tv *Traversal, origin time.Time
 			args["steals"] = it.Steals()
 			args["tasks_per_worker"] = it.WorkerTasks
 			args["steals_per_worker"] = it.WorkerSteals
+		}
+		if it.ExchangeRawBytes != 0 {
+			args["exchange_bytes"] = it.ExchangeBytes
+			args["exchange_raw_bytes"] = it.ExchangeRawBytes
+			args["compression_ratio"] = it.CompressionRatio()
 		}
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("L%d %s", it.Iteration, it.Direction()),

@@ -62,6 +62,13 @@ type IterationRecord struct {
 	// worker's queue. Nil when the kernel runs without a worker pool.
 	WorkerTasks  []int64 `json:"worker_tasks,omitempty"`
 	WorkerSteals []int64 `json:"worker_steals,omitempty"`
+	// ExchangeBytes and ExchangeRawBytes are set only by the cluster
+	// coordinator: the delta-frontier bytes actually sent between shards
+	// this iteration (after codec compression) and the raw size those
+	// deltas would occupy as uncompressed bitset words. Zero for
+	// single-process traversals.
+	ExchangeBytes    int64 `json:"exchange_bytes,omitempty"`
+	ExchangeRawBytes int64 `json:"exchange_raw_bytes,omitempty"`
 }
 
 // Direction renders the direction as the paper's terminology.
@@ -70,6 +77,17 @@ func (r IterationRecord) Direction() string {
 		return "bottom-up"
 	}
 	return "top-down"
+}
+
+// CompressionRatio returns ExchangeBytes/ExchangeRawBytes — the fraction
+// of the raw delta-frontier volume that actually crossed the wire this
+// iteration — or 0 when no exchange happened. Values below 1.0 mean the
+// sparse codec beat sending raw words.
+func (r IterationRecord) CompressionRatio() float64 {
+	if r.ExchangeRawBytes == 0 {
+		return 0
+	}
+	return float64(r.ExchangeBytes) / float64(r.ExchangeRawBytes)
 }
 
 // Tasks sums the per-worker task counts.

@@ -45,6 +45,12 @@ func Threshold(name string) float64 {
 	case strings.HasPrefix(name, "csr/"):
 		// Large transient allocations make build times GC-phase dependent.
 		return 0.08
+	case strings.HasPrefix(name, "cluster/"):
+		// Loopback RPC and the per-level barrier put kernel timings behind
+		// scheduler and TCP latency; on a loaded CI container medians
+		// wander ~20% between back-to-back runs, far more than any
+		// in-process scenario.
+		return 0.25
 	default:
 		return 0.05
 	}

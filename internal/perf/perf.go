@@ -161,6 +161,7 @@ func Scenarios() []Scenario {
 		{"engine/reuse", "coalescer load on a warm persistent engine", UnitQueries, runEngineReuse},
 		{"engine/coldstart", "coalescer load on a fresh engine per repetition", UnitQueries, runEngineColdStart},
 		{"obs/nil-tracer", "MS-PBFS auto with tracing hooks disabled (nil tracer)", UnitEdgesTraversed, runObsNilTracer},
+		{"cluster/inproc", "sharded MS-PBFS over a 2-shard loopback cluster", UnitEdgesTraversed, runClusterInproc},
 	}
 }
 

@@ -1,11 +1,14 @@
 package perf
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	msbfs "repro"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/label"
@@ -25,10 +28,15 @@ type suiteEnv struct {
 	edges   []graph.Edge  // canonical edge list for the CSR build scenario
 	srvG    *msbfs.Graph  // the same CSR wrapped for the coalescer
 	eng     *msbfs.Engine // warm persistent engine for the engine/reuse scenario
+	clu     *cluster.Inproc
+	cluRG   *cluster.RemoteGraph // suite graph sharded over the inproc cluster
 }
 
 // close releases the fixture's long-lived resources after the suite run.
-func (e *suiteEnv) close() { e.eng.Close() }
+func (e *suiteEnv) close() {
+	e.clu.Close()
+	e.eng.Close()
+}
 
 func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 	base := bench.KroneckerGraph(cfg.Scale, cfg.Seed)
@@ -48,14 +56,30 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 			}
 		}
 	}
+	srvG := msbfs.NewGraphFromAdjacency(striped.Offsets, striped.Adjacency)
+	// The cluster fixture is a 2-shard in-process cluster over loopback;
+	// the suite graph is shipped once, then every repetition reuses the
+	// shards' warm engines exactly as a deployed cluster would.
+	clu, err := cluster.StartInproc(context.Background(), 2,
+		cluster.ShardOptions{Workers: cfg.Workers}, cluster.CoordinatorOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("perf: inproc cluster: %w", err)
+	}
+	cluRG, err := clu.Coord.LoadGraph(context.Background(), "perf", srvG, cfg.Workers)
+	if err != nil {
+		clu.Close()
+		return nil, fmt.Errorf("perf: cluster load: %w", err)
+	}
 	return &suiteEnv{
 		cfg:     cfg,
 		g:       striped,
 		sources: sources,
 		counter: metrics.NewEdgeCounter(striped),
 		edges:   edges,
-		srvG:    msbfs.NewGraphFromAdjacency(striped.Offsets, striped.Adjacency),
+		srvG:    srvG,
 		eng:     msbfs.NewEngine(msbfs.Options{Workers: cfg.Workers}),
+		clu:     clu,
+		cluRG:   cluRG,
 	}, nil
 }
 
@@ -184,6 +208,27 @@ func runEngineLoad(e *suiteEnv, eng *msbfs.Engine) Sample {
 		Work:    int64(st.Requests - st.Failed),
 		Latency: &st.Latency,
 	}
+}
+
+// runClusterInproc runs the suite's multi-source workload as one sharded
+// traversal over the 2-shard loopback cluster: local MS-PBFS steps plus a
+// compressed delta-frontier exchange and level barrier per iteration. Its
+// delta against mspbfs/auto is the measured cost of distribution.
+func runClusterInproc(e *suiteEnv) Sample {
+	start := time.Now()
+	_, err := e.cluRG.RunBatch(context.Background(), e.sources,
+		msbfs.Options{Workers: e.cfg.Workers, BatchWords: 1}, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		// An in-process loopback cluster cannot legitimately fail; a broken
+		// fixture must abort the suite rather than record garbage timings.
+		panic(fmt.Sprintf("perf: cluster/inproc: %v", err))
+	}
+	// The exchange allocates wire frames and decoded level rows; collect
+	// them in this scenario's (untimed) slot so the GC debt cannot bleed
+	// into whichever scenario the interleaved protocol runs next.
+	runtime.GC()
+	return Sample{Elapsed: elapsed, Work: e.counter.EdgesForAll(e.sources)}
 }
 
 // runEngineReuse serves the load from the suite's warm persistent engine:

@@ -26,14 +26,37 @@ import (
 	"repro/internal/obs"
 )
 
-// Runner is the traversal capability the coalescer needs from a graph. It
-// is satisfied by *msbfs.Graph; tests inject wrappers that count batch
-// executions.
+// Runner is the traversal capability the coalescer needs from a local
+// graph. It is satisfied by *msbfs.Graph; tests inject wrappers that count
+// batch executions.
 type Runner interface {
 	MultiBFSVisitor(sources []int, opt msbfs.Options,
 		visit func(workerID, sourceIdx, vertex, depth int)) *msbfs.MultiResult
 	NumVertices() int
 }
+
+// BatchRunner is the backend a coalescer actually dispatches batches to.
+// Unlike Runner it is context-aware and fallible, which remote backends
+// (the cluster coordinator's RemoteGraph) need: a shard death or barrier
+// timeout fails the batch instead of panicking, and the batch honors the
+// requests' deadlines. Local graphs are adapted via localRunner.
+type BatchRunner interface {
+	RunBatch(ctx context.Context, sources []int, opt msbfs.Options,
+		visit func(workerID, sourceIdx, vertex, depth int)) (*msbfs.MultiResult, error)
+	NumVertices() int
+}
+
+// localRunner adapts the infallible in-process Runner to the BatchRunner
+// contract. In-process traversals are not cancelable mid-flight; the
+// coalescer's per-request demux already handles callers that gave up.
+type localRunner struct{ r Runner }
+
+func (lr localRunner) RunBatch(_ context.Context, sources []int, opt msbfs.Options,
+	visit func(workerID, sourceIdx, vertex, depth int)) (*msbfs.MultiResult, error) {
+	return lr.r.MultiBFSVisitor(sources, opt, visit), nil
+}
+
+func (lr localRunner) NumVertices() int { return lr.r.NumVertices() }
 
 // Kind identifies a query type. All kinds are served from the same batched
 // visitor pass.
@@ -173,7 +196,7 @@ type outcome struct {
 // Coalescer batches single-source queries against one graph into
 // multi-source traversals. Create with NewCoalescer; Close drains it.
 type Coalescer struct {
-	g     Runner
+	g     BatchRunner
 	cfg   Config
 	met   *Metrics
 	edges func(sources []int) int64 // Graph500 edge accounting; may be nil
@@ -187,9 +210,15 @@ type Coalescer struct {
 	wg       sync.WaitGroup // in-flight batch executions
 }
 
-// NewCoalescer builds a coalescer over g. met must be non-nil (use
-// NewMetrics); edges may be nil to skip GTEPS accounting.
+// NewCoalescer builds a coalescer over a local graph g. met must be
+// non-nil (use NewMetrics); edges may be nil to skip GTEPS accounting.
 func NewCoalescer(g Runner, cfg Config, met *Metrics, edges func([]int) int64) *Coalescer {
+	return NewBatchCoalescer(localRunner{r: g}, cfg, met, edges)
+}
+
+// NewBatchCoalescer builds a coalescer over an arbitrary batch backend —
+// the entry point cluster-backed graphs use.
+func NewBatchCoalescer(g BatchRunner, cfg Config, met *Metrics, edges func([]int) int64) *Coalescer {
 	return &Coalescer{g: g, cfg: cfg.normalize(), met: met, edges: edges, clk: realClock{}}
 }
 
@@ -423,8 +452,10 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 		accs[w] = make([]slotAcc, len(live))
 	}
 
+	ctx, cancel := batchContext(live)
+	defer cancel()
 	sp := c.cfg.Tracer.StartSpan("coalescer-flush", c.cfg.Graph)
-	res := c.g.MultiBFSVisitor(sources, opt, func(workerID, sourceIdx, vertex, depth int) {
+	res, runErr := c.g.RunBatch(ctx, sources, opt, func(workerID, sourceIdx, vertex, depth int) {
 		a := &accs[workerID][sourceIdx]
 		a.sum += int64(depth)
 		a.reached++
@@ -442,6 +473,25 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 	})
 
 	sp.End()
+
+	if runErr != nil {
+		// A backend failure (shard down, barrier timeout) fails this batch
+		// only: every live request learns the error, and the coalescer keeps
+		// serving later batches.
+		c.met.BatchErrors.Add(1)
+		end := c.clk.Now()
+		for _, p := range live {
+			p.done <- outcome{err: runErr}
+			c.cfg.Recorder.Record(RequestRecord{
+				TraceID: p.traceID, Graph: c.cfg.Graph, Kind: string(p.q.Kind),
+				Source: p.q.Source, Status: "error", Start: p.enqueued,
+				WaitMicros:  now.Sub(p.enqueued).Microseconds(),
+				TotalMicros: end.Sub(p.enqueued).Microseconds(),
+				BatchWidth:  len(live),
+			})
+		}
+		return
+	}
 
 	c.met.Batches.Add(1)
 	c.met.Sources.Add(int64(len(live)))
@@ -507,6 +557,24 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 				"total_us", fr.TotalMicros, "batch_width", fr.BatchWidth)
 		}
 	}
+}
+
+// batchContext derives the context a batch dispatch runs under from its
+// live requests: the latest deadline among them, so one short-deadline
+// request cannot abort the shared traversal, and no deadline at all if any
+// request is unbounded. Remote backends propagate it to their RPCs.
+func batchContext(live []*pendingReq) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, p := range live {
+		dl, ok := p.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if dl.After(latest) {
+			latest = dl
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
 }
 
 // closenessValue applies the Wasserman-Faust disconnected-graph

@@ -17,10 +17,11 @@ type Metrics struct {
 	Rejected atomic.Int64 // ErrQueueFull fast failures
 	Canceled atomic.Int64 // requests whose context ended while waiting
 
-	Batches  atomic.Int64 // multi-source traversals executed
-	Sources  atomic.Int64 // sources served across all batches
-	Edges    atomic.Int64 // Graph500 traversed-edge count across batches
-	RunNanos atomic.Int64 // summed batch traversal time
+	Batches     atomic.Int64 // multi-source traversals executed
+	BatchErrors atomic.Int64 // batches failed by the backend (cluster shard down)
+	Sources     atomic.Int64 // sources served across all batches
+	Edges       atomic.Int64 // Graph500 traversed-edge count across batches
+	RunNanos    atomic.Int64 // summed batch traversal time
 
 	BatchWidth metrics.Histogram // sources per executed batch
 	Latency    metrics.Histogram // end-to-end request latency (ns)
@@ -63,6 +64,7 @@ func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
 	fmt.Fprintf(w, "bfsd_rejected_total%s %d\n", l, m.Rejected.Load())
 	fmt.Fprintf(w, "bfsd_canceled_total%s %d\n", l, m.Canceled.Load())
 	fmt.Fprintf(w, "bfsd_batches_total%s %d\n", l, m.Batches.Load())
+	fmt.Fprintf(w, "bfsd_batch_errors_total%s %d\n", l, m.BatchErrors.Load())
 	fmt.Fprintf(w, "bfsd_sources_total%s %d\n", l, m.Sources.Load())
 	fmt.Fprintf(w, "bfsd_queue_depth%s %d\n", l, queueDepth)
 	fmt.Fprintf(w, "bfsd_batch_width_mean%s %.2f\n", l, m.MeanBatchWidth())

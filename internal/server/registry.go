@@ -11,6 +11,7 @@ import (
 	"time"
 
 	msbfs "repro"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -26,6 +27,10 @@ type Entry struct {
 	Perm []uint32
 	Met  *Metrics
 	Coal *Coalescer
+	// ClusterMet is the coordinator's exchange/RPC metrics when this
+	// graph's batches run on a shard cluster instead of the local engine;
+	// nil for locally-served graphs.
+	ClusterMet *cluster.Metrics
 }
 
 // Submit validates q against the graph (error, not panic, on bad ids),
@@ -160,6 +165,54 @@ func (r *Registry) AddRunner(name string, g *msbfs.Graph, run Runner, cfg Config
 		G:    g,
 		Met:  met,
 		Coal: NewCoalescer(run, cfg, met, g.NewEdgeCounter().EdgesForAll),
+	}
+	return r.register(e)
+}
+
+// LoadCluster materializes a graph from spec exactly as Load does, but
+// backs it with coord's shard cluster: the striped-relabeled graph is 1D
+// vertex-partitioned and shipped to the shards, and every coalesced batch
+// runs as a distributed level-synchronous traversal. The full graph is
+// kept locally for id validation and /graphs accounting; the traversal
+// memory and work live on the shards.
+func (r *Registry) LoadCluster(ctx context.Context, name, spec string, coord *cluster.Coordinator, cfg Config) (*Entry, error) {
+	sp := r.tracer.StartSpan("graph-build", spec)
+	g, err := buildGraph(spec)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("server: graph %q: %w", name, err)
+	}
+	return r.AddCluster(ctx, name, spec, g, coord, cfg)
+}
+
+// AddCluster registers an already-built graph backed by coord's shards.
+func (r *Registry) AddCluster(ctx context.Context, name, spec string, g *msbfs.Graph, coord *cluster.Coordinator, cfg Config) (*Entry, error) {
+	if cfg.Graph == "" {
+		cfg.Graph = name
+	}
+	cfg = r.wireEngine(cfg.normalize())
+	var perm []uint32
+	if g.NumVertices() > 0 {
+		sp := r.tracer.StartSpan("relabel", name)
+		g, perm = g.Relabel(msbfs.LabelStriped, cfg.Workers, 512, 1)
+		sp.End()
+	}
+	sp := r.tracer.StartSpan("cluster-load", name)
+	rg, err := coord.LoadGraph(ctx, name, g, cfg.Workers)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("server: graph %q: %w", name, err)
+	}
+	met := NewMetrics()
+	e := &Entry{
+		Name: name,
+		Spec: spec,
+		G:    g,
+		Perm: perm,
+		Met:  met,
+		Coal: NewBatchCoalescer(rg, cfg, met, g.NewEdgeCounter().EdgesForAll),
+
+		ClusterMet: coord.Metrics(),
 	}
 	return r.register(e)
 }

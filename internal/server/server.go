@@ -11,6 +11,7 @@ import (
 	"time"
 
 	msbfs "repro"
+	"repro/internal/cluster"
 )
 
 // Server is the HTTP front end: JSON query endpoints over a Registry, plus
@@ -160,6 +161,10 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, cluster.ErrShardDown):
+		// A dead shard is an availability incident, not a client error; the
+		// coordinator keeps serving its other graphs.
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
@@ -207,6 +212,9 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range names {
 		e, _ := s.reg.Get(name)
 		e.Met.writeTo(w, name, e.Coal.QueueLen())
+		if e.ClusterMet != nil {
+			e.ClusterMet.WriteTo(w, name)
+		}
 	}
 	writeEngineTo(w, s.reg.EngineStats())
 }

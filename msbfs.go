@@ -105,6 +105,15 @@ func (g *Graph) MemoryBytes() int64 { return g.g.MemoryBytes() }
 // Validate checks the structural invariants of the CSR representation.
 func (g *Graph) Validate() error { return g.g.Validate() }
 
+// CSR exposes the graph's raw compressed-sparse-row arrays: offsets has
+// NumVertices()+1 entries and vertex v's neighbors are
+// adjacency[offsets[v]:offsets[v+1]]. Both slices alias the graph's
+// storage and must not be modified. The cluster coordinator uses this to
+// slice per-shard sub-CSRs without copying the whole graph.
+func (g *Graph) CSR() (offsets []int64, adjacency []uint32) {
+	return g.g.Offsets, g.g.Adjacency
+}
+
 // Save writes the graph in the library's binary format.
 func (g *Graph) Save(w io.Writer) error { return graph.Save(w, g.g) }
 

@@ -5,7 +5,7 @@ PKGS := ./...
 # rewritten by tooling; everything else is held to gofmt.
 GOFILES := $(shell git ls-files '*.go' | grep -v '/testdata/')
 
-.PHONY: all build test lint vet gate gate-update race cluster-test debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
+.PHONY: all build test lint vet gate gate-update race cluster-test dyn-test debug ci fmt serve loadtest perf perf-compare fuzz-smoke obs-smoke
 
 all: build
 
@@ -57,6 +57,14 @@ cluster-test:
 	$(GO) test -race -count=1 ./internal/cluster/...
 	$(GO) test -race -count=1 -run 'Cluster' ./internal/server/ ./cmd/bfsd/
 
+# dyn-test = the dynamic-graph suite under the race detector: MVCC
+# snapshot oracle tests, the ingest-while-query stress test (with the
+# arena poisoning-hygiene assertions), plus the ingest/versioning HTTP
+# integration tests in internal/server. See docs/DYNAMIC.md.
+dyn-test:
+	$(GO) test -race -count=1 ./internal/dyngraph/
+	$(GO) test -race -count=1 -run 'Dyn|Ingest|Version|Snapshot' ./internal/server/
+
 # debug = the test suite with the bfsdebug invariant layer live
 # (per-iteration frontier/seen cross-checks + reference-BFS distance
 # verification; see docs/ANALYSIS.md).
@@ -93,10 +101,11 @@ perf-compare:
 # burst per target. Catches loader regressions without a long fuzz session.
 FUZZTIME ?= 10s
 fuzz-smoke:
-	$(GO) test -run '^Fuzz' ./internal/graph/ ./internal/cluster/
+	$(GO) test -run '^Fuzz' ./internal/graph/ ./internal/cluster/ ./internal/dyngraph/
 	$(GO) test -fuzz '^FuzzLoadEdgeList$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
 	$(GO) test -fuzz '^FuzzFrontierCodec$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
+	$(GO) test -fuzz '^FuzzApplyEdges$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/dyngraph/
 
 # obs-smoke = end-to-end check of the observability surface: bfsd debug
 # endpoints (pprof, flight recorder) and the bfsrun Chrome trace export
@@ -105,4 +114,4 @@ obs-smoke:
 	./scripts/obs_smoke.sh
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint gate test race cluster-test debug obs-smoke
+ci: build lint gate test race cluster-test dyn-test debug obs-smoke

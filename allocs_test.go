@@ -13,6 +13,8 @@ package msbfs
 import (
 	"runtime"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestMultiBFSWarmEngineAllocs(t *testing.T) {
@@ -71,6 +73,37 @@ func TestMultiBFSWarmEngineAllocBytes(t *testing.T) {
 	if perOp >= stateBytes {
 		t.Errorf("warm-engine MultiBFS allocates %d B/op, want < one state array (%d B): arena not recycling",
 			perOp, stateBytes)
+	}
+}
+
+func TestMultiBFSOverlayWarmEngineAllocs(t *testing.T) {
+	// The dynamic-graph serving path: a snapshot's overflow adjacency rides
+	// along via Options.Overlay. Scanning it must stay allocation-free —
+	// the overlay pages are read-only slices, so a warmed engine keeps the
+	// same per-call constant as the static fast path.
+	g := GenerateKronecker(12, 8, 1)
+	n := g.NumVertices()
+	extra := make([]Edge, 0, 512)
+	for i := 0; i < 512; i++ {
+		u := graph.VertexID((i * 2654435761) % n)
+		v := graph.VertexID((i*40503 + 7) % n)
+		if u != v {
+			extra = append(extra, Edge{U: u, V: v})
+		}
+	}
+	ov := graph.NewOverlay(n).WithEdges(extra, nil)
+	if ov.Arcs() == 0 {
+		t.Fatal("overlay unexpectedly empty")
+	}
+	sources := g.RandomSources(64, 7)
+	eng := NewEngine(Options{Workers: 2})
+	defer eng.Close()
+	opt := Options{Workers: 2, Engine: eng, Overlay: ov}
+	g.MultiBFS(sources, opt)
+
+	warm := testing.AllocsPerRun(10, func() { g.MultiBFS(sources, opt) })
+	if warm > 32 {
+		t.Errorf("warm-engine MultiBFS with overlay: %.0f allocs/op, want <= 32", warm)
 	}
 }
 

@@ -44,6 +44,13 @@ type Options struct {
 	// counts, per-worker work-stealing balance, arena behavior). Nil is
 	// free; see NewTracer.
 	Tracer *Tracer
+	// Overlay layers streamed-but-uncompacted edge inserts over the graph:
+	// the traversal's effective neighbor set of v becomes
+	// Neighbors(v) ∪ Overlay.Extra(v), scanned fused inside the kernels'
+	// inner loops. Obtain one from a dyngraph snapshot; it must stay
+	// immutable for the duration of the run. Nil (the default) is the
+	// static-graph fast path.
+	Overlay *Overlay
 }
 
 // Normalize returns a copy of o with out-of-range fields clamped to their
@@ -80,6 +87,7 @@ func (o Options) toCore() core.Options {
 		CollectIterStats: o.CollectIterStats,
 		Engine:           o.Engine.coreEngine(),
 		Tracer:           o.Tracer.obsTracer(),
+		Overlay:          o.Overlay,
 	}
 	switch {
 	case o.TopDownOnly:

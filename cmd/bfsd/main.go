@@ -17,6 +17,12 @@
 //	bfsd -shard :9002 &
 //	bfsd -graph demo=kron:scale=20 -shards host1:9001,host2:9002 -addr :8080
 //
+// Dynamic mode accepts streamed edge inserts while serving queries
+// (MVCC snapshots over the CSR; see docs/DYNAMIC.md):
+//
+//	bfsd -graph live=uniform:n=100000 -dynamic -addr :8080
+//	curl -X POST localhost:8080/graphs/live/edges -d '{"edges":[[1,2],[3,4]]}'
+//
 // Endpoints: POST /bfs /closeness /reachability /khop;
 // GET /graphs /healthz /metrics. With -debug-addr a second, separate
 // listener serves the debug surface (pprof, runtime/trace capture, the
@@ -42,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dyngraph"
 	"repro/internal/server"
 )
 
@@ -90,6 +97,8 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		shardAddr  = flag.String("shard", "", "run as a cluster shard listening on this address (no -graph/-addr; see docs/CLUSTER.md)")
 		shardList  = flag.String("shards", "", "comma-separated shard addresses; serve every -graph from this shard cluster instead of in-process")
+		dynamic    = flag.Bool("dynamic", false, "serve every -graph as a dynamic graph: POST /graphs/NAME/edges ingests edges, queries pin MVCC versions (see docs/DYNAMIC.md; exclusive with -shards)")
+		maxDelta   = flag.Int64("max-delta", 0, "dynamic mode: max uncompacted overlay arcs before ingest gets 409 backpressure (0: library default)")
 	)
 	flag.Parse()
 
@@ -113,7 +122,11 @@ func main() {
 	if *shardList != "" {
 		shards = strings.Split(*shardList, ",")
 	}
-	if err := run(logger, graphs, *addr, *debugAddr, shards, server.Config{
+	if *dynamic && *shardList != "" {
+		logger.Error("-dynamic is exclusive with -shards (ingest is single-process)")
+		os.Exit(1)
+	}
+	if err := run(logger, graphs, *addr, *debugAddr, shards, *dynamic, *maxDelta, server.Config{
 		Workers:        *workers,
 		BatchWords:     *batchWords,
 		MaxBatch:       *maxBatch,
@@ -172,7 +185,7 @@ func runShard(logger *slog.Logger, addr string, workers int) error {
 }
 
 func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string, shards []string,
-	cfg server.Config, slowQuery, drainWait time.Duration) error {
+	dynamic bool, maxDelta int64, cfg server.Config, slowQuery, drainWait time.Duration) error {
 	if len(graphs) == 0 {
 		return errors.New("no graphs to serve (pass at least one -graph NAME=SPEC)")
 	}
@@ -194,17 +207,26 @@ func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string, shards 
 		start := time.Now()
 		var e *server.Entry
 		var err error
-		if coord != nil {
+		switch {
+		case coord != nil:
 			e, err = reg.LoadCluster(context.Background(), name, spec, coord, cfg)
-		} else {
+		case dynamic:
+			e, err = reg.LoadDynamic(name, spec, cfg, dyngraph.Config{
+				MaxDelta:    maxDelta,
+				AutoCompact: true,
+			})
+		default:
 			e, err = reg.Load(name, spec, cfg)
 		}
 		if err != nil {
 			return err
 		}
 		backend := "local"
-		if coord != nil {
+		switch {
+		case coord != nil:
 			backend = fmt.Sprintf("cluster/%d-shards", coord.NumShards())
+		case dynamic:
+			backend = "dynamic"
 		}
 		logger.Info("graph loaded",
 			"graph", name, "spec", spec, "backend", backend,

@@ -17,6 +17,17 @@
 // borrow is live is reported. Merging is conservative: a branch that may
 // leave the borrow live taints the join point.
 //
+// The same discipline governs dynamic-graph snapshot pins: DynGraph's
+// Acquire/AcquireVersion (and the server's SnapshotSource mirror) pin an
+// MVCC version whose generation cannot be compacted away until the
+// snapshot's own Release method runs. A leaked pin is worse than a leaked
+// bitmap — it blocks generation retirement forever, so the retired-arena
+// scrub never fires and memory grows with every compaction. The pass
+// tracks Acquire* calls on those types like borrows, with the release
+// being a method on the pinned value itself (snap.Release()). Acquires
+// returning (snapshot, error) get the obvious refinement: the arm of an
+// `if err != nil` check holds no pin, so bailing out there is not a leak.
+//
 // A borrow whose artifact intentionally outlives the function — returned
 // to the caller, stored in a result struct or a field — must carry
 // //bfs:arena-held with a justification naming the release path (e.g.
@@ -37,9 +48,11 @@ import (
 // path out of the borrowing function.
 var Analyzer = &analysis.Analyzer{
 	Name: "arenarelease",
-	Doc: "proves every Engine borrow (borrow*/checkout*/BorrowPool) is released on all paths " +
-		"(return*/checkin*/Release*/release closure, directly or via defer); borrows that " +
-		"intentionally outlive the function need //bfs:arena-held plus a justification",
+	Doc: "proves every Engine borrow (borrow*/checkout*/BorrowPool) and every DynGraph/" +
+		"SnapshotSource snapshot pin (Acquire*) is released on all paths " +
+		"(return*/checkin*/Release*/release closure/snapshot Release method, directly or via " +
+		"defer); borrows that intentionally outlive the function need //bfs:arena-held plus " +
+		"a justification",
 	Run: run,
 }
 
@@ -62,11 +75,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // borrow is one tracked arena checkout: the variable it was assigned to,
-// the optional release-closure variable (BorrowPool's second result), and
-// the statement performing the borrow.
+// the optional release-closure variable (BorrowPool's second result), the
+// optional companion error (snapshot acquires return one; its non-nil arm
+// holds no pin), and the statement performing the borrow.
 type borrow struct {
 	obj     types.Object // borrowed value
 	release types.Object // release closure, or nil
+	errObj  types.Object // companion error result, or nil
 	call    *ast.CallExpr
 	stmt    ast.Stmt
 }
@@ -161,10 +176,25 @@ func resolveBorrow(pass *analysis.Pass, call *ast.CallExpr, stmt ast.Stmt) *borr
 	}
 	if len(assign.Lhs) == 2 {
 		if id, ok := assign.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
-			b.release = pass.TypesInfo.ObjectOf(id)
+			// BorrowPool's second result is the release closure; a snapshot
+			// acquire's second result is its error. Classify by type so the
+			// error is never mistaken for a release.
+			obj := pass.TypesInfo.ObjectOf(id)
+			switch {
+			case obj == nil:
+			case isErrorType(obj.Type()):
+				b.errObj = obj
+			default:
+				b.release = obj
+			}
 		}
 	}
 	return b
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
 }
 
 // isLocal reports whether obj is declared inside a function (not at
@@ -176,22 +206,26 @@ func isLocal(pass *analysis.Pass, obj types.Object) bool {
 }
 
 // isBorrowCall matches methods named borrow*/Borrow*/checkout*/Checkout*
-// on a named type Engine (any package).
+// on a named type Engine, and snapshot pins Acquire* on DynGraph or
+// SnapshotSource (any package).
 func isBorrowCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	name := sel.Sel.Name
-	lower := strings.ToLower(name)
-	if !strings.HasPrefix(lower, "borrow") && !strings.HasPrefix(lower, "checkout") {
-		return false
+	lower := strings.ToLower(sel.Sel.Name)
+	if strings.HasPrefix(lower, "borrow") || strings.HasPrefix(lower, "checkout") {
+		return isMethodOn(pass, sel, "Engine")
 	}
-	return isEngineMethod(pass, sel)
+	if strings.HasPrefix(lower, "acquire") {
+		return isMethodOn(pass, sel, "DynGraph", "SnapshotSource")
+	}
+	return false
 }
 
 // isReleaseCall matches methods named return*/Return*/checkin*/Checkin*/
-// Release* on Engine.
+// Release* on Engine. (Snapshot pins release through a method on the
+// pinned value itself; isReleaseOfBorrow handles that form.)
 func isReleaseCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -202,10 +236,12 @@ func isReleaseCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 		!strings.HasPrefix(lower, "release") {
 		return false
 	}
-	return isEngineMethod(pass, sel)
+	return isMethodOn(pass, sel, "Engine")
 }
 
-func isEngineMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+// isMethodOn reports whether sel is a method selection whose receiver is
+// one of the given named types (struct or interface, pointer or value).
+func isMethodOn(pass *analysis.Pass, sel *ast.SelectorExpr, typeNames ...string) bool {
 	selection, ok := pass.TypesInfo.Selections[sel]
 	if !ok {
 		return false
@@ -215,7 +251,15 @@ func isEngineMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Engine"
+	if !ok {
+		return false
+	}
+	for _, want := range typeNames {
+		if named.Obj().Name() == want {
+			return true
+		}
+	}
+	return false
 }
 
 func callName(call *ast.CallExpr) string {
@@ -241,7 +285,12 @@ func escapeUse(pass *analysis.Pass, body *ast.BlockStmt, b *borrow) *escapeNote 
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				if usesObj(pass, res, b.obj) {
+				// Uses inside a call are consumption, not an escape:
+				// `return snap.RunBatch(…)` returns the call's result, the
+				// borrow itself stays local. (A callee returning its own
+				// argument is invisible here; that handoff needs the
+				// annotation on its own acquire site.)
+				if usesObjOutsideCalls(pass, res, b.obj) {
 					note = &escapeNote{"returned to the caller"}
 					return false
 				}
@@ -277,6 +326,26 @@ func escapeUse(pass *analysis.Pass, body *ast.BlockStmt, b *borrow) *escapeNote 
 func isLocalIdent(pass *analysis.Pass, id *ast.Ident) bool {
 	obj := pass.TypesInfo.ObjectOf(id)
 	return obj != nil && isLocal(pass, obj)
+}
+
+// usesObjOutsideCalls reports whether expr references obj outside any call
+// expression in its subtree (calls consume the borrow without handing the
+// value itself to the caller of the enclosing function).
+func usesObjOutsideCalls(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // usesObj reports whether expr references obj anywhere in its subtree.
@@ -327,7 +396,13 @@ func (w *walker) walkStmt(stmt ast.Stmt, st int) (int, bool) {
 		if s.Init != nil {
 			st, _ = w.walkStmt(s.Init, st)
 		}
-		bodySt, bodyTerm := w.walkStmts(s.Body.List, st)
+		bodyIn := st
+		if st == stLive && w.isErrCheck(s.Cond) {
+			// `x, err := Acquire…; if err != nil { return … }`: the failed
+			// acquire pinned nothing, so the error arm holds no borrow.
+			bodyIn = stDone
+		}
+		bodySt, bodyTerm := w.walkStmts(s.Body.List, bodyIn)
 		elseSt, elseTerm := st, false
 		if s.Else != nil {
 			elseSt, elseTerm = w.walkStmt(s.Else, st)
@@ -441,6 +516,27 @@ func mergeBranches(in int, branches []branch) (int, bool) {
 	return in, false
 }
 
+// isErrCheck reports whether cond is `err != nil` over the borrow's
+// companion error result (the second value of a snapshot acquire).
+func (w *walker) isErrCheck(cond ast.Expr) bool {
+	if w.b.errObj == nil {
+		return false
+	}
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isErr := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && w.pass.TypesInfo.ObjectOf(id) == w.b.errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isErr(bin.X) && isNil(bin.Y)) || (isErr(bin.Y) && isNil(bin.X))
+}
+
 // releasesIn reports whether a leaf statement releases the walker's
 // borrow: a matching Engine release call with the borrowed variable among
 // its arguments, a call of the borrow's release closure, or either of
@@ -474,6 +570,15 @@ func (w *walker) isReleaseOfBorrow(call *ast.CallExpr) bool {
 	// release closure from BorrowPool: `release()` / `defer release()`.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		return w.b.release != nil && w.pass.TypesInfo.ObjectOf(id) == w.b.release
+	}
+	// Snapshot pins release through the pinned value itself:
+	// `snap.Release()` / `defer snap.Release()`.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok &&
+			strings.HasPrefix(strings.ToLower(sel.Sel.Name), "release") &&
+			w.pass.TypesInfo.ObjectOf(id) == w.b.obj {
+			return true
+		}
 	}
 	if !isReleaseCall(w.pass, call) {
 		return false

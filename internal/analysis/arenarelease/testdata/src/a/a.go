@@ -155,3 +155,85 @@ func VariadicRelease(e *Engine, n int) {
 	levels := e.borrowLevels(n)
 	e.ReleaseLevels(levels)
 }
+
+// DynGraph models the dynamic graph's MVCC snapshot surface: Acquire*
+// pins a version, the pin is dropped by the snapshot's own Release method.
+type DynGraph struct{}
+
+type Snapshot struct{}
+
+func (s *Snapshot) Release() {}
+func (s *Snapshot) Run() int  { return 0 }
+
+func (d *DynGraph) Acquire() (*Snapshot, error)                  { return &Snapshot{}, nil }
+func (d *DynGraph) AcquireVersion(ver uint64) (*Snapshot, error) { return &Snapshot{}, nil }
+
+// SnapshotSource models the server-side mirror of the acquire surface.
+type SnapshotSource interface {
+	AcquireVersion(ver uint64) (*Snapshot, error)
+}
+
+// SnapshotDeferredRelease is the canonical pin shape: bail on the error
+// arm (no pin held there), defer the snapshot's Release for every other
+// path.
+func SnapshotDeferredRelease(d *DynGraph) error {
+	snap, err := d.AcquireVersion(3)
+	if err != nil {
+		return err // acquire failed: nothing pinned, not a leak
+	}
+	defer snap.Release()
+	return nil
+}
+
+// SnapshotEarlyReturnLeak releases at the end but leaks the pin when it
+// bails between acquire and release.
+func SnapshotEarlyReturnLeak(d *DynGraph, bad bool) error {
+	snap, err := d.Acquire()
+	if err != nil {
+		return err
+	}
+	if bad {
+		return nil // want `early return leaks arena borrow snap`
+	}
+	snap.Release()
+	return nil
+}
+
+// SnapshotFallThroughLeak never releases the pin at all.
+func SnapshotFallThroughLeak(src SnapshotSource) {
+	snap, err := src.AcquireVersion(1) // want `not released on the fall-through path`
+	if err != nil {
+		return
+	}
+	_ = snap
+}
+
+// SnapshotEscapes hands the pinned snapshot to the caller undeclared.
+func SnapshotEscapes(d *DynGraph) (*Snapshot, error) {
+	snap, err := d.Acquire() // want `escapes this function`
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// SnapshotConsumedInReturn returns the result of a call on the pin, with
+// the pin itself released by defer: consumption, not an escape.
+func SnapshotConsumedInReturn(d *DynGraph) (int, error) {
+	snap, err := d.Acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer snap.Release()
+	return snap.Run(), nil
+}
+
+// SnapshotHeldByAnnotation is the sanctioned handoff: the caller owns the
+// pin and the annotation names the release path.
+func SnapshotHeldByAnnotation(d *DynGraph) (*Snapshot, error) {
+	snap, err := d.Acquire() //bfs:arena-held caller releases via Snapshot.Release
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

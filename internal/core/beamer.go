@@ -58,6 +58,7 @@ func (v BeamerVariant) algoName() string {
 // Only Direction, Alpha, Beta, RecordLevels and CollectIterStats of opt are
 // honored; the algorithm is single-threaded by definition (Section 5.2).
 func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Result {
+	requireNoOverlay(opt, "Beamer")
 	n := g.NumVertices()
 	eng := opt.engine()
 	var levels []int32

@@ -21,6 +21,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/numa"
 	"repro/internal/obs"
@@ -118,6 +119,17 @@ type Options struct {
 	// Topology optionally enables the NUMA placement model; when non-zero
 	// the run records modeled page locality into NUMAStats.
 	Topology numa.Topology
+	// Overlay optionally layers a sorted per-vertex overflow adjacency —
+	// streamed edge inserts not yet compacted into the CSR (see
+	// internal/dyngraph) — over the graph. The effective neighbor set of v
+	// becomes Neighbors(v) ∪ Overlay.Extra(v); MS-PBFS, SMS-PBFS, the
+	// sequential MS-BFS and the reference oracle fuse the overlay scan into
+	// their inner loops, and their degree accounting includes the overlay so
+	// direction decisions match the compacted CSR exactly. The overlay must
+	// be immutable for the duration of the run (dyngraph snapshots guarantee
+	// this); kernels without fused support panic on a non-nil Overlay rather
+	// than silently traversing a stale view.
+	Overlay *graph.Overlay
 	// OnVisit, when non-nil, is called for every (source, vertex)
 	// discovery with the BFS depth. It is invoked concurrently from
 	// worker goroutines; implementations typically accumulate into
@@ -375,6 +387,16 @@ func diffInt64(cur, prev []int64) []int64 {
 		cur[i] -= prev[i]
 	}
 	return cur
+}
+
+// requireNoOverlay rejects a dyngraph overlay on kernels without fused
+// overlay iteration: panicking beats silently traversing a stale view of a
+// graph the caller believes is current. The baseline kernels (Beamer,
+// QueueBFS, iBFS) exist for the paper's comparisons over static inputs.
+func requireNoOverlay(opt Options, algo string) {
+	if opt.Overlay != nil {
+		panic("core: " + algo + " does not support Options.Overlay (dynamic snapshots); use MSPBFS, SMSPBFS, MSBFS or ReferenceBFSOverlay")
+	}
 }
 
 // SourcesPerBatch returns the number of concurrent BFSs one batch of the

@@ -32,4 +32,4 @@ func debugCheckBorrowedClean(kind string, population int) {}
 
 // debugCheckLevels is a no-op stub; the bfsdebug build compares a recorded
 // level array against the sequential reference BFS.
-func debugCheckLevels(g *graph.Graph, source int, levels []int32, algo string) {}
+func debugCheckLevels(g *graph.Graph, ov *graph.Overlay, source int, levels []int32, algo string) {}

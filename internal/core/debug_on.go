@@ -88,9 +88,9 @@ func debugCheckBorrowedClean(kind string, population int) {
 }
 
 // debugCheckLevels compares a recorded level array against the sequential
-// reference BFS from the same source.
-func debugCheckLevels(g *graph.Graph, source int, levels []int32, algo string) {
-	ref := ReferenceLevels(g, source)
+// reference BFS from the same source, over the same (CSR + overlay) view.
+func debugCheckLevels(g *graph.Graph, ov *graph.Overlay, source int, levels []int32, algo string) {
+	ref := ReferenceLevelsOverlay(g, ov, source)
 	if len(ref) != len(levels) {
 		panic(fmt.Sprintf("bfsdebug: %s source %d: level array length %d, reference %d",
 			algo, source, len(levels), len(ref)))

@@ -100,11 +100,11 @@ func TestLevelChecksFire(t *testing.T) {
 	g := b.Build()
 
 	levels := ReferenceLevels(g, 0)
-	debugCheckLevels(g, 0, levels, "test") // exact copy passes
+	debugCheckLevels(g, nil, 0, levels, "test") // exact copy passes
 
 	levels[4] = 7 // corrupt one distance
 	mustPanic(t, "reference BFS says", func() {
-		debugCheckLevels(g, 0, levels, "test")
+		debugCheckLevels(g, nil, 0, levels, "test")
 	})
 }
 

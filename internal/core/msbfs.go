@@ -53,6 +53,7 @@ func MSBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *Engine,
 	seen, frontier, next *bitset.State, res *MultiResult) {
 	n := g.NumVertices()
+	ov := opt.Overlay
 	k := len(batch)
 	if k == 0 {
 		return
@@ -83,6 +84,9 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 		if !seen.Any(s) {
 			frontVertices++
 			frontEdges += int64(g.Degree(s))
+			if ov != nil {
+				frontEdges += int64(ov.ExtraDegree(s))
+			}
 		}
 		seen.Set(s, i)
 		frontier.Set(s, i)
@@ -94,7 +98,7 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 			opt.OnVisit(0, batchOffset+i, s, 0)
 		}
 	}
-	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
+	unexploredEdges := int64(len(g.Adjacency)) + ov.Arcs() - frontEdges
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
@@ -161,6 +165,18 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 						break
 					}
 				}
+				if ov != nil && !(!opt.DisableEarlyExit && coversPair(sRow, acc, activeMask)) {
+					for _, v := range ov.Extra(u) {
+						scanned++
+						fRow := frontier.Row(int(v))
+						for i := range acc {
+							acc[i] |= fRow[i]
+						}
+						if !opt.DisableEarlyExit && coversPair(sRow, acc, activeMask) {
+							break
+						}
+					}
+				}
 				nRow := next.Row(u)
 				anyNew := uint64(0)
 				for i := range acc {
@@ -178,6 +194,9 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 				}
 				frontVertices++
 				frontEdges += int64(g.Degree(u))
+				if ov != nil {
+					frontEdges += int64(ov.ExtraDegree(u))
+				}
 				if levels != nil || opt.OnVisit != nil {
 					emit(u, nRow)
 				}
@@ -208,6 +227,21 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 						nRow[i] |= nw
 					}
 				}
+				if ov != nil {
+					for _, nb := range ov.Extra(v) {
+						scanned++
+						sRow := seen.Row(int(nb))
+						nRow := next.Row(int(nb))
+						for i := range fRow {
+							nw := fRow[i] &^ sRow[i]
+							if nw == 0 {
+								continue
+							}
+							sRow[i] |= nw
+							nRow[i] |= nw
+						}
+					}
+				}
 			}
 			// Resolve the new frontier: next holds exactly the bits newly
 			// discovered this iteration; clear the old frontier in the
@@ -226,6 +260,9 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 				}
 				frontVertices++
 				frontEdges += int64(g.Degree(v))
+				if ov != nil {
+					frontEdges += int64(ov.ExtraDegree(v))
+				}
 				if levels != nil || opt.OnVisit != nil {
 					emit(v, nRow)
 				}
@@ -240,6 +277,12 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 				scanned += int64(len(nbrs))
 				for _, nb := range nbrs {
 					next.OrVertex(int(nb), frontier, v)
+				}
+				if ov != nil {
+					for _, nb := range ov.Extra(v) {
+						scanned++
+						next.OrVertex(int(nb), frontier, v)
+					}
 				}
 			}
 			for v := 0; v < n; v++ {
@@ -269,6 +312,9 @@ func msbfsBatch(g *graph.Graph, batch []int, batchOffset int, opt Options, eng *
 				}
 				frontVertices++
 				frontEdges += int64(g.Degree(v))
+				if ov != nil {
+					frontEdges += int64(ov.ExtraDegree(v))
+				}
 				if levels != nil || opt.OnVisit != nil {
 					emit(v, nRow)
 				}

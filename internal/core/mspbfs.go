@@ -201,6 +201,7 @@ func (e *MSPBFSEngine) Run(sources []int) *MultiResult {
 // runBatch executes one batch of k <= 64*words concurrent BFSs.
 func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) {
 	g, opt, n := e.g, e.opt, e.g.NumVertices()
+	ov := opt.Overlay
 	k := len(batch)
 	if k == 0 {
 		return
@@ -243,6 +244,9 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		if !e.seen.Any(s) {
 			frontVertices++
 			frontEdges += int64(g.Degree(s))
+			if ov != nil {
+				frontEdges += int64(ov.ExtraDegree(s))
+			}
 		}
 		e.seen.Set(s, i)
 		frontier.Set(s, i)
@@ -261,7 +265,10 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 		dbgSeen = int64(e.seen.CountAll())
 	}
 
-	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
+	// Overlay arcs count toward the unexplored-edge pool exactly as if they
+	// were already compacted into the CSR, so auto-direction decisions are
+	// identical between the overlay and compacted representations.
+	unexploredEdges := int64(len(g.Adjacency)) + ov.Arcs() - frontEdges
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
@@ -331,7 +338,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 
 	if debugInvariants && levels != nil && opt.MaxDepth <= 0 {
 		for i := range levels {
-			debugCheckLevels(g, batch[i], levels[i], "MS-PBFS")
+			debugCheckLevels(g, ov, batch[i], levels[i], "MS-PBFS")
 		}
 	}
 
@@ -353,6 +360,7 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 //bfs:singlewriter phase 1 writes go through AtomicOrVertex; phase 2 touches each vertex row from exactly one worker, and live/acc are worker-local
 func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][]int32, depth int32, batchOffset int) []time.Duration {
 	g, opt := e.g, e.opt
+	ov := opt.Overlay
 	steal := !opt.DisableStealing
 
 	// Phase 1: aggregate reachability into next. The only phase with
@@ -379,6 +387,16 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 				// (shareable) reads and are not charged.
 				for _, nb := range nbrs {
 					if next.AtomicOrVertex(int(nb), row) {
+						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+					}
+				}
+			}
+			if ov != nil {
+				// Fused overlay scan: the not-yet-compacted extra neighbors
+				// push through the same CAS merge as the CSR run above.
+				for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+					scanned.v++
+					if next.AtomicOrVertex(int(nb), row) && e.tracker != nil {
 						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
 					}
 				}
@@ -435,6 +453,9 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 			upd.v += int64(newBits)
 			fv.v++
 			d := int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			if ov != nil {
+				d += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+			}
 			fd.v += d
 			ud.v += d
 			if levels != nil || opt.OnVisit != nil {
@@ -451,6 +472,7 @@ func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][
 //bfs:singlewriter each unseen vertex row is read and written by the one worker that owns its range; acc/live are worker-local scratch
 func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMask []uint64, levels [][]int32, depth int32, batchOffset int) []time.Duration {
 	g, opt := e.g, e.opt
+	ov := opt.Overlay
 	steal := !opt.DisableStealing
 	earlyExit := !opt.DisableEarlyExit
 
@@ -496,6 +518,25 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 					break
 				}
 			}
+			if ov != nil && !(earlyExit && coversPair(sRow, acc, activeMask)) {
+				// Fused overlay scan: extra neighbors accumulate into the
+				// same acc row, with the same early exit once every live BFS
+				// bit is covered.
+				for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+					scanned.v++
+					fRow := frontier.Row(int(v)) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+					if len(fRow) < len(acc) {
+						// BCE hint: see the CSR loop above.
+						panic("mspbfs: row stride mismatch")
+					}
+					for i := range acc {
+						acc[i] |= fRow[i]
+					}
+					if earlyExit && coversPair(sRow, acc, activeMask) {
+						break
+					}
+				}
+			}
 			nRow := next.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
 			if len(sRow) < len(acc) || len(nRow) < len(acc) || len(live) < len(nRow) {
 				// BCE hint: pins the row strides so the resolution loops
@@ -520,6 +561,9 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 			upd.v += int64(newBits)
 			fv.v++
 			d := int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			if ov != nil {
+				d += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+			}
 			fd.v += d
 			ud.v += d
 			if levels != nil || opt.OnVisit != nil {

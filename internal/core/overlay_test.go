@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// splitGraphOverlay builds the test harness for the fused overlay scans:
+// a random graph's edges are split into a base CSR and an overlay holding
+// the remainder, plus the compacted CSR holding everything. Every kernel
+// must produce identical levels over (base + overlay) and over compacted.
+func splitGraphOverlay(n, m int, seed int64) (base *graph.Graph, ov *graph.Overlay, compacted *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]graph.VertexID]bool{}
+	var edges []graph.Edge
+	for len(edges) < m {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.VertexID{u, v}] {
+			continue
+		}
+		seen[[2]graph.VertexID{u, v}] = true
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	cut := len(edges) * 2 / 3
+	base = graph.FromEdges(n, edges[:cut])
+	compacted = graph.FromEdges(n, edges)
+	ov = graph.NewOverlay(n).WithEdges(edges[cut:], nil)
+	return base, ov, compacted
+}
+
+// TestOverlayKernelEquivalence: BFS levels over (CSR + overlay) must be
+// byte-identical to BFS over the compacted CSR, for every fused kernel and
+// every forced direction. This is the kernel-level slice of the dyngraph
+// snapshot oracle (the full MVCC version sweep lives in internal/dyngraph).
+func TestOverlayKernelEquivalence(t *testing.T) {
+	const n = 700
+	base, ov, compacted := splitGraphOverlay(n, 2200, 20170321)
+	sources := []int{0, 3, 99, 500, 699, 123, 321, 7}
+
+	for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+		dir := dir
+		t.Run(fmt.Sprintf("dir=%d", dir), func(t *testing.T) {
+			opt := Options{Workers: 4, BatchWords: 1, RecordLevels: true, Direction: dir}
+			ovOpt := opt
+			ovOpt.Overlay = ov
+
+			want := MSPBFS(compacted, sources, opt)
+			got := MSPBFS(base, sources, ovOpt)
+			for i := range sources {
+				if !reflect.DeepEqual(want.Levels[i], got.Levels[i]) {
+					t.Fatalf("MS-PBFS levels diverge for source %d", sources[i])
+				}
+			}
+
+			wantSeq := MSBFS(compacted, sources, opt)
+			gotSeq := MSBFS(base, sources, ovOpt)
+			for i := range sources {
+				if !reflect.DeepEqual(wantSeq.Levels[i], gotSeq.Levels[i]) {
+					t.Fatalf("MS-BFS levels diverge for source %d", sources[i])
+				}
+			}
+
+			for _, repr := range []StateRepr{BitState, ByteState} {
+				w := SMSPBFS(compacted, sources[0], repr, opt)
+				g := SMSPBFS(base, sources[0], repr, ovOpt)
+				if !reflect.DeepEqual(w.Levels, g.Levels) {
+					t.Fatalf("SMS-PBFS/%s levels diverge", repr)
+				}
+			}
+
+			if dir == Auto {
+				w := ReferenceBFS(compacted, sources[0])
+				g := ReferenceBFSOverlay(base, ov, sources[0])
+				if !reflect.DeepEqual(w.Levels, g.Levels) {
+					t.Fatalf("reference levels diverge")
+				}
+			}
+		})
+	}
+}
+
+// TestOverlaySinglePhaseTopDown covers the direct sequential variant's
+// fused overlay path separately (only MSBFS honors SinglePhaseTopDown).
+func TestOverlaySinglePhaseTopDown(t *testing.T) {
+	base, ov, compacted := splitGraphOverlay(400, 1200, 7)
+	sources := []int{1, 42, 399}
+	opt := Options{RecordLevels: true, SinglePhaseTopDown: true, Direction: TopDownOnly}
+	ovOpt := opt
+	ovOpt.Overlay = ov
+	want := MSBFS(compacted, sources, opt)
+	got := MSBFS(base, sources, ovOpt)
+	if !reflect.DeepEqual(want.Levels, got.Levels) {
+		t.Fatalf("single-phase MS-BFS levels diverge under overlay")
+	}
+}
+
+// TestOverlayGuardsFire pins the contract that non-fused baselines refuse
+// an overlay instead of silently ignoring it.
+func TestOverlayGuardsFire(t *testing.T) {
+	base, ov, _ := splitGraphOverlay(64, 128, 3)
+	opt := Options{Overlay: ov}
+	for name, run := range map[string]func(){
+		"Beamer":   func() { Beamer(base, 0, BeamerGAPBS, opt) },
+		"QueueBFS": func() { QueueBFS(base, 0, opt) },
+		"IBFS":     func() { IBFS(base, []int{0}, opt) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted Options.Overlay without panicking", name)
+				}
+			}()
+			run()
+		}()
+	}
+}

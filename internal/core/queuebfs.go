@@ -21,6 +21,7 @@ import (
 // Its role in this repository is to represent the contention and conversion
 // costs that the paper's array-based approach eliminates.
 func QueueBFS(g *graph.Graph, source int, opt Options) *Result {
+	requireNoOverlay(opt, "QueueBFS")
 	n := g.NumVertices()
 	workers := opt.workers()
 	rec := newIterRecorder(opt, "queue-bfs", 1, nil)

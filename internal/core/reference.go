@@ -10,6 +10,14 @@ import (
 // for every other algorithm in this package and the GTEPS sanity baseline.
 // It always records levels.
 func ReferenceBFS(g *graph.Graph, source int) *Result {
+	return ReferenceBFSOverlay(g, nil, source)
+}
+
+// ReferenceBFSOverlay is ReferenceBFS over (CSR + overlay): the effective
+// neighbor set of v is Neighbors(v) ∪ ov.Extra(v). It is the oracle the
+// dyngraph snapshot-equality suites compare every fused kernel against.
+// ov may be nil.
+func ReferenceBFSOverlay(g *graph.Graph, ov *graph.Overlay, source int) *Result {
 	n := g.NumVertices()
 	levels := make([]int32, n)
 	for i := range levels {
@@ -30,6 +38,15 @@ func ReferenceBFS(g *graph.Graph, source int) *Result {
 				queue = append(queue, u)
 			}
 		}
+		if ov != nil {
+			for _, u := range ov.Extra(int(v)) {
+				if levels[u] == NoLevel {
+					levels[u] = d
+					visited++
+					queue = append(queue, u)
+				}
+			}
+		}
 	}
 	res := &Result{Levels: levels, VisitedVertices: visited}
 	res.Stats.Elapsed = time.Since(start)
@@ -41,4 +58,9 @@ func ReferenceBFS(g *graph.Graph, source int) *Result {
 // a convenience for tests.
 func ReferenceLevels(g *graph.Graph, source int) []int32 {
 	return ReferenceBFS(g, source).Levels
+}
+
+// ReferenceLevelsOverlay is ReferenceLevels over (CSR + overlay).
+func ReferenceLevelsOverlay(g *graph.Graph, ov *graph.Overlay, source int) []int32 {
+	return ReferenceBFSOverlay(g, ov, source).Levels
 }

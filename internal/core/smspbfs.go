@@ -203,6 +203,7 @@ func (e *SMSPBFSEngine) Close() {
 // at the start, so Run can be called repeatedly.
 func (e *SMSPBFSEngine) Run(source int) *Result {
 	g, opt, n := e.g, e.opt, e.g.NumVertices()
+	ov := opt.Overlay
 	rec := newIterRecorder(opt, e.repr.algoName(), 1, e.pool)
 	var levels []int32
 	if opt.RecordLevels {
@@ -235,7 +236,12 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	dbgSeen := int64(1) // invariant-layer state (bfsdebug builds only)
 	frontVertices := int64(1)
 	frontEdges := int64(g.Degree(source))
-	unexploredEdges := int64(len(g.Adjacency)) - frontEdges
+	if ov != nil {
+		frontEdges += int64(ov.ExtraDegree(source))
+	}
+	// Overlay arcs count toward the unexplored pool so auto-direction
+	// decisions match the compacted CSR exactly.
+	unexploredEdges := int64(len(g.Adjacency)) + ov.Arcs() - frontEdges
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
 	var dirReason string
@@ -280,7 +286,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	e.buf0, e.buf1 = frontier, next
 
 	if debugInvariants && levels != nil && opt.MaxDepth <= 0 {
-		debugCheckLevels(g, source, levels, "SMS-PBFS")
+		debugCheckLevels(g, ov, source, levels, "SMS-PBFS")
 	}
 
 	rec.finish()
@@ -294,6 +300,7 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 // phase 2 resolves newly seen vertices without synchronization.
 func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
 	g, opt := e.g, e.opt
+	ov := opt.Overlay
 	steal := !opt.DisableStealing
 	n := g.NumVertices()
 	chunk := frontier.ChunkSize()
@@ -340,6 +347,16 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 						}
 					}
 				}
+				if ov != nil {
+					// Fused overlay scan: not-yet-compacted extra neighbors
+					// push through the same idempotent atomic mark.
+					for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+						scanned.v++
+						if next.AtomicSet(int(nb)) && e.tracker != nil {
+							e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+						}
+					}
+				}
 			}
 			// Frontier cleared in place (Listing 3 line 5). Task ranges are
 			// multiples of 512 vertices, so word wi belongs to exactly one
@@ -382,6 +399,9 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 				e.seen.Set(v)
 				upd.v++
 				fd.v += int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+				if ov != nil {
+					fd.v += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+				}
 				if levels != nil {
 					levels[v] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
 				}
@@ -399,6 +419,7 @@ func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int3
 // are scrubbed in the same pass so the buffers can swap roles.
 func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
 	g, opt := e.g, e.opt
+	ov := opt.Overlay
 	steal := !opt.DisableStealing
 
 	e.tq.Reset()
@@ -425,11 +446,25 @@ func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int
 					break
 				}
 			}
+			if !found && ov != nil {
+				// Fused overlay scan: the extra neighbors get the same
+				// find-one-frontier-parent early exit as the CSR list.
+				for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+					scanned.v++
+					if frontier.Get(int(v)) {
+						found = true
+						break
+					}
+				}
+			}
 			if found {
 				next.Set(u)
 				e.seen.Set(u)
 				upd.v++
 				fd.v += int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+				if ov != nil {
+					fd.v += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+				}
 				if levels != nil {
 					levels[u] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
 				}

@@ -1,0 +1,60 @@
+package dyngraph
+
+import "repro/internal/graph"
+
+// PoisonVertex is the sentinel every retired generation's arena is filled
+// with. A traversal that holds an overlay list past its snapshot's release
+// reads out-of-range neighbor ids and crashes immediately instead of
+// silently traversing a recycled graph view — the same scrub-on-retire
+// discipline the core engine applies to its state arenas, extended to
+// overlay storage. 0xdddddddd is out of vertex range for every graph this
+// repository targets (n is an int32-scale count).
+const PoisonVertex graph.VertexID = 0xdddddddd
+
+// arenaChunkIDs is the allocation granularity of a generation arena, in
+// vertex ids (64 KiB chunks).
+const arenaChunkIDs = 1 << 14
+
+// arena is a bump allocator for overlay neighbor lists. All lists of one
+// generation's overlays live here, so the generation can be poisoned as a
+// unit when its refcount drains. Allocation happens under the DynGraph
+// mutex (publish path); reads are lock-free from immutable published
+// lists.
+type arena struct {
+	chunks [][]graph.VertexID
+	free   []graph.VertexID // tail of the active chunk
+	used   int64            // ids handed out (Stats accounting)
+}
+
+// alloc returns a zeroed slice of length n with capacity clamped to n, so
+// append on a published list can never bleed into a neighbor's storage.
+func (a *arena) alloc(n int) []graph.VertexID {
+	if n == 0 {
+		return nil
+	}
+	if n > len(a.free) {
+		size := arenaChunkIDs
+		if n > size {
+			size = n
+		}
+		c := make([]graph.VertexID, size)
+		a.chunks = append(a.chunks, c)
+		a.free = c
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	a.used += int64(n)
+	return out
+}
+
+// scrub poisons every chunk. Called exactly once, when the owning
+// generation's refcount drains to zero — at that point no live snapshot
+// can legitimately reach the lists.
+func (a *arena) scrub() {
+	for _, c := range a.chunks {
+		for i := range c {
+			c[i] = PoisonVertex
+		}
+	}
+	a.free = nil
+}

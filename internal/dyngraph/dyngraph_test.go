@@ -1,0 +1,368 @@
+package dyngraph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	msbfs "repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// randomEdges produces m distinct canonical edges over n vertices.
+func randomEdges(n, m int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]graph.VertexID]bool{}
+	var edges []graph.Edge
+	for len(edges) < m {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.VertexID{u, v}] {
+			continue
+		}
+		seen[[2]graph.VertexID{u, v}] = true
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return edges
+}
+
+// checkSnapshotOracle asserts that BFS over a snapshot (CSR + overlay)
+// matches BFS over a CSR rebuilt from scratch with exactly the edges that
+// should be visible at the snapshot's version.
+func checkSnapshotOracle(t *testing.T, snap *Snapshot, n int, visible []graph.Edge, sources []int) {
+	t.Helper()
+	oracle := msbfs.NewGraph(n, visible)
+	if got, want := snap.NumEdges(), oracle.NumEdges(); got != want {
+		t.Fatalf("v%d: snapshot has %d edges, oracle %d", snap.Version(), got, want)
+	}
+	opt := msbfs.Options{Workers: 2, RecordLevels: true}
+	snapOpt := opt
+	snapOpt.Overlay = snap.Overlay()
+
+	want := oracle.MultiBFS(sources, opt)
+	got := snap.Graph().MultiBFS(sources, snapOpt)
+	for i := range sources {
+		if !reflect.DeepEqual(want.Levels[i], got.Levels[i]) {
+			t.Fatalf("v%d: MultiBFS levels diverge for source %d", snap.Version(), sources[i])
+		}
+	}
+
+	w1 := oracle.BFS(sources[0], opt)
+	g1 := snap.Graph().BFS(sources[0], snapOpt)
+	if !reflect.DeepEqual(w1.Levels, g1.Levels) {
+		t.Fatalf("v%d: BFS levels diverge", snap.Version())
+	}
+
+	w2 := oracle.SequentialBFS(sources[0])
+	g2 := core.ReferenceLevelsOverlay(snapInternal(snap), snap.v.ov, sources[0])
+	if !reflect.DeepEqual(w2.Levels, g2) {
+		t.Fatalf("v%d: sequential levels diverge", snap.Version())
+	}
+}
+
+// snapInternal digs out the snapshot's internal CSR for the sequential
+// reference oracle.
+func snapInternal(s *Snapshot) *graph.Graph { return s.v.gen.base }
+
+// TestSnapshotOracleEveryVersion streams random batches in and verifies
+// every intermediate version against a from-scratch rebuild, holding all
+// snapshots alive simultaneously so MVCC isolation is exercised.
+func TestSnapshotOracleEveryVersion(t *testing.T) {
+	const n = 300
+	all := randomEdges(n, 900, 42)
+	base := all[:300]
+	d := New(msbfs.NewGraph(n, base), Config{Workers: 2, Retain: 64})
+	defer d.Close()
+
+	type pinned struct {
+		snap    *Snapshot
+		visible []graph.Edge
+	}
+	var pins []pinned
+	sources := []int{0, 17, 123, 299}
+
+	visible := append([]graph.Edge(nil), base...)
+	s0, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins = append(pins, pinned{s0, append([]graph.Edge(nil), visible...)})
+
+	rest := all[300:]
+	for len(rest) > 0 {
+		k := 40
+		if k > len(rest) {
+			k = len(rest)
+		}
+		batch := rest[:k]
+		rest = rest[k:]
+		res, err := d.ApplyEdges(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != k {
+			t.Fatalf("accepted %d of %d fresh edges", res.Accepted, k)
+		}
+		visible = append(visible, batch...)
+		snap, err := d.AcquireVersion(res.Version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, pinned{snap, append([]graph.Edge(nil), visible...)})
+	}
+
+	// Every pinned version must still see exactly its own edge set.
+	for _, p := range pins {
+		checkSnapshotOracle(t, p.snap, n, p.visible, sources)
+	}
+	// Compact, then re-verify: re-published and still-pinned old views
+	// alike must be unperturbed.
+	if ok, err := d.Compact(); err != nil || !ok {
+		t.Fatalf("compact: ok=%v err=%v", ok, err)
+	}
+	for _, p := range pins {
+		checkSnapshotOracle(t, p.snap, n, p.visible, sources)
+		p.snap.Release()
+	}
+}
+
+// TestCompactionMidStream interleaves compactions with ingest and checks
+// the final view plus a version pinned before the first compaction.
+func TestCompactionMidStream(t *testing.T) {
+	const n = 200
+	all := randomEdges(n, 600, 7)
+	d := New(msbfs.NewGraph(n, all[:100]), Config{Workers: 2, Retain: 64})
+	defer d.Close()
+
+	early, err := d.Acquire() // v1, will straddle every compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	visible := all[:100]
+	rest := all[100:]
+	step := 0
+	for len(rest) > 0 {
+		k := 25
+		if k > len(rest) {
+			k = len(rest)
+		}
+		if _, err := d.ApplyEdges(rest[:k]); err != nil {
+			t.Fatal(err)
+		}
+		visible = all[:len(visible)+k]
+		rest = rest[k:]
+		if step%3 == 2 {
+			if _, err := d.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step++
+	}
+	sources := []int{0, 50, 199}
+	cur, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSnapshotOracle(t, cur, n, visible, sources)
+	checkSnapshotOracle(t, early, n, all[:100], sources)
+	cur.Release()
+	early.Release()
+
+	st := d.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compactions ran")
+	}
+	if st.DeltaEdges != 0 && st.Compactions > 0 && st.DeltaArcs == 0 {
+		t.Fatalf("inconsistent delta accounting: %+v", st)
+	}
+}
+
+// TestApplyEdgesDedupAndValidation pins the batch hygiene rules.
+func TestApplyEdgesDedupAndValidation(t *testing.T) {
+	const n = 50
+	d := New(msbfs.NewGraph(n, []graph.Edge{{U: 0, V: 1}}), Config{})
+	defer d.Close()
+
+	res, err := d.ApplyEdges([]graph.Edge{
+		{U: 0, V: 1}, // dup of base
+		{U: 1, V: 0}, // dup of base, swapped
+		{U: 3, V: 3}, // self-loop
+		{U: 2, V: 3}, // fresh
+		{U: 3, V: 2}, // dup within batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 1 || res.Duplicates != 3 || res.SelfLoops != 1 {
+		t.Fatalf("got %+v", res)
+	}
+	if res.Version != 2 {
+		t.Fatalf("version = %d, want 2", res.Version)
+	}
+
+	// Re-sending the same edge is a no-op batch: no version bump.
+	res2, err := d.ApplyEdges([]graph.Edge{{U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Accepted != 0 || res2.Version != 2 {
+		t.Fatalf("idempotent resend got %+v", res2)
+	}
+
+	// Out-of-range endpoint rejects the whole batch atomically.
+	if _, err := d.ApplyEdges([]graph.Edge{{U: 4, V: 5}, {U: 0, V: graph.VertexID(n)}}); !errors.Is(err, ErrBadEdge) {
+		t.Fatalf("want ErrBadEdge, got %v", err)
+	}
+	if d.Version() != 2 {
+		t.Fatalf("failed batch bumped version to %d", d.Version())
+	}
+	snap, _ := d.Acquire()
+	defer snap.Release()
+	if got := snap.NumEdges(); got != 2 {
+		t.Fatalf("edge count %d after rejected batch, want 2", got)
+	}
+}
+
+// TestBackpressure verifies ErrCompactionLag at MaxDelta and recovery
+// after an explicit compaction.
+func TestBackpressure(t *testing.T) {
+	const n = 100
+	d := New(msbfs.NewGraph(n, nil), Config{MaxDelta: 8}) // 4 edges of headroom
+	defer d.Close()
+
+	if _, err := d.ApplyEdges(randomEdges(n, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.ApplyEdges([]graph.Edge{{U: 90, V: 91}})
+	if !errors.Is(err, ErrCompactionLag) {
+		t.Fatalf("want ErrCompactionLag, got %v", err)
+	}
+	if ok, err := d.Compact(); err != nil || !ok {
+		t.Fatalf("compact: %v %v", ok, err)
+	}
+	if _, err := d.ApplyEdges([]graph.Edge{{U: 90, V: 91}}); err != nil {
+		t.Fatalf("ingest after compaction: %v", err)
+	}
+	if st := d.Stats(); st.IngestRejected != 1 {
+		t.Fatalf("IngestRejected = %d, want 1", st.IngestRejected)
+	}
+}
+
+// TestVersionLifecycle covers retention eviction, future versions, and
+// closed-state errors.
+func TestVersionLifecycle(t *testing.T) {
+	const n = 64
+	d := New(msbfs.NewGraph(n, nil), Config{Retain: 2})
+
+	for i := 0; i < 4; i++ {
+		if _, err := d.ApplyEdges([]graph.Edge{{U: graph.VertexID(i), V: graph.VertexID(i + 10)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Versions now 1..5; Retain 2 keeps {4, 5}.
+	if _, err := d.AcquireVersion(2); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("want ErrVersionGone for v2, got %v", err)
+	}
+	if _, err := d.AcquireVersion(99); !errors.Is(err, ErrVersionFuture) {
+		t.Fatalf("want ErrVersionFuture, got %v", err)
+	}
+	s4, err := d.AcquireVersion(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Version() != 4 {
+		t.Fatalf("pinned %d", s4.Version())
+	}
+	s4.Release()
+	s4.Release() // idempotent
+
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.Acquire(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := d.ApplyEdges(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := d.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// TestArenaScrubOnRetire: once the last snapshot of a retired generation
+// is released, the generation's overlay arena must be poisoned. A stale
+// neighbor-list pointer held past Release reads PoisonVertex instead of a
+// plausible vertex id.
+func TestArenaScrubOnRetire(t *testing.T) {
+	const n = 32
+	d := New(msbfs.NewGraph(n, []graph.Edge{{U: 0, V: 1}}), Config{Retain: 1, Workers: 2})
+	defer d.Close()
+
+	if _, err := d.ApplyEdges([]graph.Edge{{U: 2, V: 3}, {U: 4, V: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := snap.Overlay().Extra(2) // list in generation 1's arena
+	if len(stale) != 1 || stale[0] != 3 {
+		t.Fatalf("overlay list = %v, want [3]", stale)
+	}
+
+	// Compaction moves the live versions to generation 2; generation 1 is
+	// kept alive solely by snap's pin.
+	if ok, err := d.Compact(); err != nil || !ok {
+		t.Fatalf("compact: %v %v", ok, err)
+	}
+	if st := d.Stats(); st.RetiredGens != 0 {
+		t.Fatalf("generation retired while still pinned")
+	}
+	if stale[0] != 3 {
+		t.Fatalf("pinned overlay disturbed by compaction: %v", stale)
+	}
+
+	snap.Release()
+	st := d.Stats()
+	if st.RetiredGens != 1 {
+		t.Fatalf("RetiredGens = %d after last release, want 1", st.RetiredGens)
+	}
+	if stale[0] != PoisonVertex {
+		t.Fatalf("retired arena not scrubbed: %v", stale)
+	}
+}
+
+// TestAutoCompact exercises the background compactor end to end.
+func TestAutoCompact(t *testing.T) {
+	const n = 128
+	d := New(msbfs.NewGraph(n, nil), Config{
+		Workers: 2, MaxDelta: 1 << 16, CompactThreshold: 20, AutoCompact: true, Retain: 4,
+	})
+	edges := randomEdges(n, 200, 3)
+	for i := 0; i < len(edges); i += 10 {
+		end := i + 10
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if _, err := d.ApplyEdges(edges[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compactor never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Close()
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "sort"
+
+// Overlay is an immutable per-vertex overflow adjacency layered over a CSR
+// graph: the streamed edge inserts that have not yet been compacted into
+// the base arrays. The effective neighbor set of v under an overlay is
+// Neighbors(v) ∪ Extra(v); the BFS kernels fuse the overlay scan into their
+// inner loops so traversal over (CSR + overlay) is byte-identical to
+// traversal over the compacted CSR at the same version.
+//
+// The representation is copy-on-write and page-granular: vertices are
+// grouped into pages of 1024 extra-neighbor lists, WithEdges copies only
+// the pages it touches and shares the rest, so each published graph version
+// is an O(touched pages) delta over its predecessor. An Overlay is
+// immutable once published — readers traverse it with no synchronization —
+// and all list storage comes from the caller-supplied allocator, which lets
+// internal/dyngraph place every list in a per-generation arena it can
+// poison when the generation retires.
+type Overlay struct {
+	pages []*overlayPage
+	arcs  int64
+	n     int
+}
+
+const (
+	overlayPageShift = 10
+	overlayPageSize  = 1 << overlayPageShift
+)
+
+// overlayPage holds the extra-neighbor lists of 1024 consecutive vertices.
+// Lists are sorted ascending and contain neither self-loops nor vertices
+// already adjacent in the base CSR (the dedup happens at ingest time).
+type overlayPage struct {
+	lists [overlayPageSize][]VertexID
+}
+
+// NewOverlay returns an empty overlay for an n-vertex graph. The nil
+// *Overlay is a valid empty overlay for NumVertices, Arcs and Edges; the
+// per-vertex accessors (Extra, ExtraDegree, HasArc) require a non-nil
+// receiver — the kernels hoist one `ov != nil` test per fused loop instead
+// of paying a receiver check per vertex.
+func NewOverlay(n int) *Overlay {
+	pages := (n + overlayPageSize - 1) / overlayPageSize
+	return &Overlay{pages: make([]*overlayPage, pages), n: n}
+}
+
+// NumVertices returns the vertex-domain size the overlay was built for.
+func (o *Overlay) NumVertices() int {
+	if o == nil {
+		return 0
+	}
+	return o.n
+}
+
+// Extra returns the sorted extra-neighbor list of vertex v (nil when v has
+// no overlay edges). The slice aliases the overlay's storage and must not
+// be modified.
+//
+//bfs:hot called per frontier/unseen vertex inside every fused kernel loop
+func (o *Overlay) Extra(v int) []VertexID {
+	p := o.pages[v>>overlayPageShift] //bfs:bounds-ok v < n by the kernels' range invariant; pages sized to cover n
+	if p == nil {
+		return nil
+	}
+	return p.lists[v&(overlayPageSize-1)]
+}
+
+// ExtraDegree returns len(Extra(v)); split out so the degree-accounting
+// call sites read like the CSR Degree they sit next to.
+func (o *Overlay) ExtraDegree(v int) int {
+	return len(o.Extra(v))
+}
+
+// Arcs returns the number of directed arcs the overlay adds (2 per
+// undirected overlay edge) — the overlay counterpart of len(Adjacency),
+// used by the direction heuristic's unexplored-edges accounting.
+func (o *Overlay) Arcs() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.arcs
+}
+
+// HasArc reports whether v's extra-neighbor list contains u (binary
+// search); the overlay counterpart of Graph.HasEdge.
+func (o *Overlay) HasArc(v int, u VertexID) bool {
+	ex := o.Extra(v)
+	i := sort.Search(len(ex), func(i int) bool { return ex[i] >= u })
+	return i < len(ex) && ex[i] == u
+}
+
+// Edges returns all overlay edges with U < V, each exactly once. Intended
+// for tests and compaction, not hot paths.
+func (o *Overlay) Edges() []Edge {
+	if o == nil {
+		return nil
+	}
+	var out []Edge
+	for v := 0; v < o.n; v++ {
+		for _, u := range o.Extra(v) {
+			if VertexID(v) < u {
+				out = append(out, Edge{U: VertexID(v), V: u})
+			}
+		}
+	}
+	return out
+}
+
+// OverlayAlloc supplies list storage for WithEdges: it returns a zeroed
+// slice of length n. nil means plain make — dyngraph passes its
+// generation-arena allocator instead.
+type OverlayAlloc func(n int) []VertexID
+
+// WithEdges returns a new overlay that additionally contains the given
+// edges, which must be canonical (U < V, no self-loops), in-range, and not
+// already present in either the base CSR or the receiver — ingest dedup is
+// the caller's job (dyngraph.ApplyEdges). The receiver is unchanged:
+// untouched pages are shared, touched pages are copied, and every modified
+// vertex's list is rebuilt into a fresh alloc'd slice, never aliasing the
+// old backing storage (the old version's readers keep traversing it).
+func (o *Overlay) WithEdges(edges []Edge, alloc OverlayAlloc) *Overlay {
+	if len(edges) == 0 {
+		return o
+	}
+	if alloc == nil {
+		alloc = func(n int) []VertexID { return make([]VertexID, n) }
+	}
+	no := &Overlay{
+		pages: append([]*overlayPage(nil), o.pages...),
+		arcs:  o.arcs,
+		n:     o.n,
+	}
+	// Group the additions per vertex (both directions of each edge).
+	adds := make(map[int][]VertexID, len(edges)*2)
+	for _, e := range edges {
+		adds[int(e.U)] = append(adds[int(e.U)], e.V)
+		adds[int(e.V)] = append(adds[int(e.V)], e.U)
+		no.arcs += 2
+	}
+	for v, ins := range adds {
+		pi := v >> overlayPageShift
+		page := no.pages[pi]
+		if page == nil {
+			page = &overlayPage{}
+		} else if page == o.pages[pi] {
+			cp := *page // copy-on-write: detach the touched page
+			page = &cp
+		}
+		no.pages[pi] = page
+		slot := v & (overlayPageSize - 1)
+		old := page.lists[slot]
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+		merged := alloc(len(old) + len(ins))
+		i, j, k := 0, 0, 0
+		for i < len(old) && j < len(ins) {
+			if old[i] <= ins[j] {
+				merged[k] = old[i]
+				i++
+			} else {
+				merged[k] = ins[j]
+				j++
+			}
+			k++
+		}
+		k += copy(merged[k:], old[i:])
+		k += copy(merged[k:], ins[j:])
+		page.lists[slot] = merged[:k]
+	}
+	return no
+}

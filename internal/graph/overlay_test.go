@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOverlayWithEdgesMergesSorted(t *testing.T) {
+	o := NewOverlay(8)
+	o1 := o.WithEdges([]Edge{{U: 1, V: 5}, {U: 1, V: 3}}, nil)
+	o2 := o1.WithEdges([]Edge{{U: 1, V: 4}, {U: 0, V: 7}}, nil)
+
+	if got := o2.Extra(1); !reflect.DeepEqual(got, []VertexID{3, 4, 5}) {
+		t.Fatalf("Extra(1) = %v, want [3 4 5]", got)
+	}
+	if got := o2.Extra(3); !reflect.DeepEqual(got, []VertexID{1}) {
+		t.Fatalf("Extra(3) = %v, want [1]", got)
+	}
+	if o2.ExtraDegree(7) != 1 || o2.ExtraDegree(2) != 0 {
+		t.Fatalf("ExtraDegree wrong: deg(7)=%d deg(2)=%d", o2.ExtraDegree(7), o2.ExtraDegree(2))
+	}
+	if o2.Arcs() != 8 {
+		t.Fatalf("Arcs = %d, want 8 (4 undirected edges)", o2.Arcs())
+	}
+	if !o2.HasArc(1, 4) || o2.HasArc(1, 6) {
+		t.Fatalf("HasArc wrong")
+	}
+	if got := len(o2.Edges()); got != 4 {
+		t.Fatalf("Edges() returned %d edges, want 4", got)
+	}
+}
+
+// TestOverlayCopyOnWrite pins the MVCC-critical property: publishing a new
+// version never mutates an older one, and untouched pages are shared
+// rather than copied.
+func TestOverlayCopyOnWrite(t *testing.T) {
+	n := 3 * overlayPageSize
+	o1 := NewOverlay(n).WithEdges([]Edge{{U: 1, V: 2}}, nil)
+	far := VertexID(2 * overlayPageSize) // lives on page 2
+	o2 := o1.WithEdges([]Edge{{U: 1, V: 9}, {U: 5, V: far}}, nil)
+
+	if got := o1.Extra(1); !reflect.DeepEqual(got, []VertexID{2}) {
+		t.Fatalf("old version mutated: Extra(1) = %v, want [2]", got)
+	}
+	if o1.Extra(int(far)) != nil {
+		t.Fatalf("old version mutated: Extra(far) = %v", o1.Extra(int(far)))
+	}
+	if got := o2.Extra(1); !reflect.DeepEqual(got, []VertexID{2, 9}) {
+		t.Fatalf("new version wrong: Extra(1) = %v, want [2 9]", got)
+	}
+	// Page 1 was untouched by the second publish: it must be shared.
+	if o1.pages[1] != o2.pages[1] {
+		t.Fatalf("untouched page not shared between versions")
+	}
+	if o1.pages[0] == o2.pages[0] || o1.pages[2] == o2.pages[2] {
+		t.Fatalf("touched pages not copied")
+	}
+}
+
+// TestOverlayAllocCallback checks that all list storage is drawn from the
+// caller's allocator (the hook dyngraph uses for arena placement).
+func TestOverlayAllocCallback(t *testing.T) {
+	var allocs, cells int
+	alloc := func(n int) []VertexID {
+		allocs++
+		cells += n
+		return make([]VertexID, n)
+	}
+	o := NewOverlay(16).WithEdges([]Edge{{U: 0, V: 1}, {U: 0, V: 2}}, alloc)
+	if allocs != 3 { // lists for vertices 0, 1, 2
+		t.Fatalf("allocator called %d times, want 3", allocs)
+	}
+	if cells != 4 {
+		t.Fatalf("allocator asked for %d cells, want 4", cells)
+	}
+	if got := o.Extra(0); !reflect.DeepEqual(got, []VertexID{1, 2}) {
+		t.Fatalf("Extra(0) = %v", got)
+	}
+}
+
+func TestOverlayNilAndEmpty(t *testing.T) {
+	var nilOv *Overlay
+	if nilOv.Arcs() != 0 || nilOv.NumVertices() != 0 || nilOv.Edges() != nil {
+		t.Fatalf("nil overlay accessors wrong")
+	}
+	empty := NewOverlay(100)
+	if empty.Extra(42) != nil || empty.Arcs() != 0 {
+		t.Fatalf("empty overlay accessors wrong")
+	}
+	if got := empty.WithEdges(nil, nil); got != empty {
+		t.Fatalf("WithEdges(nil) must return the receiver unchanged")
+	}
+}

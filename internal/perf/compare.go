@@ -45,6 +45,11 @@ func Threshold(name string) float64 {
 	case strings.HasPrefix(name, "csr/"):
 		// Large transient allocations make build times GC-phase dependent.
 		return 0.08
+	case strings.HasPrefix(name, "dyn/"):
+		// Overlay pages are small and cache-cold relative to the CSR, so
+		// the fused scan's timing moves with allocator placement between
+		// runs; wider than the kernels, tighter than the queueing suites.
+		return 0.10
 	case strings.HasPrefix(name, "cluster/"):
 		// Loopback RPC and the per-level barrier put kernel timings behind
 		// scheduler and TCP latency; on a loaded CI container medians

@@ -162,6 +162,7 @@ func Scenarios() []Scenario {
 		{"engine/coldstart", "coalescer load on a fresh engine per repetition", UnitQueries, runEngineColdStart},
 		{"obs/nil-tracer", "MS-PBFS auto with tracing hooks disabled (nil tracer)", UnitEdgesTraversed, runObsNilTracer},
 		{"cluster/inproc", "sharded MS-PBFS over a 2-shard loopback cluster", UnitEdgesTraversed, runClusterInproc},
+		{"dyn/overlay-scan", "MS-PBFS auto with a resident dynamic-delta overlay", UnitEdgesTraversed, runDynOverlayScan},
 	}
 }
 

@@ -30,6 +30,7 @@ type suiteEnv struct {
 	eng     *msbfs.Engine // warm persistent engine for the engine/reuse scenario
 	clu     *cluster.Inproc
 	cluRG   *cluster.RemoteGraph // suite graph sharded over the inproc cluster
+	ov      *graph.Overlay       // resident delta for the dyn/overlay-scan scenario
 }
 
 // close releases the fixture's long-lived resources after the suite run.
@@ -70,6 +71,20 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 		clu.Close()
 		return nil, fmt.Errorf("perf: cluster load: %w", err)
 	}
+	// The overlay fixture models a dynamic graph mid-stream: ~512 extra
+	// edges (deterministic from the seed) living in the delta layer, the
+	// size a snapshot typically carries between compactions.
+	state := cfg.Seed*6364136223846793005 + 1442695040888963407
+	extra := make([]graph.Edge, 0, 512)
+	for len(extra) < 512 {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := graph.VertexID((state >> 33) % uint64(n))
+		state = state*6364136223846793005 + 1442695040888963407
+		v := graph.VertexID((state >> 33) % uint64(n))
+		if u != v {
+			extra = append(extra, graph.Edge{U: u, V: v})
+		}
+	}
 	return &suiteEnv{
 		cfg:     cfg,
 		g:       striped,
@@ -80,6 +95,7 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 		eng:     msbfs.NewEngine(msbfs.Options{Workers: cfg.Workers}),
 		clu:     clu,
 		cluRG:   cluRG,
+		ov:      graph.NewOverlay(n).WithEdges(extra, nil),
 	}, nil
 }
 
@@ -229,6 +245,19 @@ func runClusterInproc(e *suiteEnv) Sample {
 	// into whichever scenario the interleaved protocol runs next.
 	runtime.GC()
 	return Sample{Elapsed: elapsed, Work: e.counter.EdgesForAll(e.sources)}
+}
+
+// runDynOverlayScan is mspbfs/auto with a resident delta overlay — the
+// dynamic-graph serving path, where a snapshot's uncompacted overflow
+// adjacency rides along with every scan. Its delta against mspbfs/auto is
+// the measured cost of the fused (CSR + overlay) neighbor iteration.
+func runDynOverlayScan(e *suiteEnv) Sample {
+	opt := e.traversalOpts()
+	opt.Direction = core.Auto
+	opt.Overlay = e.ov
+	return runMulti(e, func() *core.MultiResult {
+		return core.MSPBFS(e.g, e.sources, opt)
+	})
 }
 
 // runEngineReuse serves the load from the suite's warm persistent engine:

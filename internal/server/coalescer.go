@@ -58,6 +58,24 @@ func (lr localRunner) RunBatch(_ context.Context, sources []int, opt msbfs.Optio
 
 func (lr localRunner) NumVertices() int { return lr.r.NumVertices() }
 
+// GraphSnapshot is a pinned, immutable version of a dynamic graph —
+// satisfied structurally by *dyngraph.Snapshot, so the dynamic-graph layer
+// never imports the server. The coalescer runs a batch against the
+// snapshot its requests pinned at submit time, making every coalesced
+// query repeatable-read isolated from concurrent ingest and compaction.
+type GraphSnapshot interface {
+	Version() uint64
+	RunBatch(ctx context.Context, sources []int, opt msbfs.Options,
+		visit func(workerID, sourceIdx, vertex, depth int)) (*msbfs.MultiResult, error)
+	Release()
+}
+
+// SnapshotSource mints pinned snapshots for the coalescer, one per
+// admitted request. Version 0 means "current".
+type SnapshotSource interface {
+	AcquireVersion(ver uint64) (GraphSnapshot, error)
+}
+
 // Kind identifies a query type. All kinds are served from the same batched
 // visitor pass.
 type Kind string
@@ -84,6 +102,9 @@ type Query struct {
 	Targets []int
 	// Hops is the neighborhood radius for KindKHop.
 	Hops int
+	// Version pins the query to a specific published version of a dynamic
+	// graph (0: current). Rejected with ErrBadRequest on static graphs.
+	Version uint64
 }
 
 // MaxTargets bounds the per-request distance-target list; it keeps the
@@ -100,10 +121,11 @@ type Answer struct {
 	Reachable    bool
 	Count        int64 // vertices within Hops hops, including the source
 
-	BatchWidth int           // sources in the batch that served this request
-	Wait       time.Duration // time spent queued before the batch ran
-	Run        time.Duration // traversal time of the serving batch
-	TraceID    uint64        // flight-recorder correlation id; 0 when untraced
+	BatchWidth   int           // sources in the batch that served this request
+	Wait         time.Duration // time spent queued before the batch ran
+	Run          time.Duration // traversal time of the serving batch
+	TraceID      uint64        // flight-recorder correlation id; 0 when untraced
+	GraphVersion uint64        // dynamic-graph version served; 0 on static graphs
 }
 
 // Coalescer errors. The HTTP layer maps ErrQueueFull to 429 + Retry-After,
@@ -153,6 +175,11 @@ type Config struct {
 	// Logger receives slow-query warnings (one line per request the
 	// Recorder classifies as slow); nil disables.
 	Logger *slog.Logger
+	// Snapshots makes the coalescer dynamic-graph aware: every admitted
+	// request pins a snapshot of its requested version, and each batch is
+	// cut on version boundaries so one traversal serves exactly one
+	// consistent view. Nil serves the static graph directly.
+	Snapshots SnapshotSource
 }
 
 func (c Config) normalize() Config {
@@ -186,6 +213,10 @@ type pendingReq struct {
 	done     chan outcome
 	enqueued time.Time
 	traceID  uint64
+	// snap is the version pinned for this request at submit time (nil on
+	// static graphs). Owned by the request; released exactly once when the
+	// request leaves the coalescer, on every path.
+	snap GraphSnapshot
 }
 
 type outcome struct {
@@ -257,6 +288,9 @@ func (c *Coalescer) validate(q Query) error {
 	default:
 		return fmt.Errorf("%w: unknown query kind %q", ErrBadRequest, q.Kind)
 	}
+	if q.Version != 0 && c.cfg.Snapshots == nil {
+		return fmt.Errorf("%w: version pinning requires a dynamic graph", ErrBadRequest)
+	}
 	for _, t := range q.Targets {
 		if t < 0 || t >= n {
 			return fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, n)
@@ -274,14 +308,26 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 	}
 	p := &pendingReq{q: q, ctx: ctx, done: make(chan outcome, 1), enqueued: c.clk.Now(),
 		traceID: c.cfg.Recorder.NextTraceID()}
+	if c.cfg.Snapshots != nil {
+		// Pin the requested version before enqueueing: the snapshot fixes
+		// which edges this query sees, no matter how long it queues or how
+		// much ingest/compaction happens meanwhile.
+		snap, err := c.cfg.Snapshots.AcquireVersion(q.Version) //bfs:arena-held released by releaseSnap on every terminal path of the request (reject, cancel, batch completion)
+		if err != nil {
+			return Answer{}, err
+		}
+		p.snap = snap
+	}
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		releaseSnap(p)
 		return Answer{}, ErrClosed
 	}
 	if len(c.pending) >= c.cfg.MaxPending {
 		c.mu.Unlock()
+		releaseSnap(p)
 		c.met.Rejected.Add(1)
 		c.cfg.Recorder.Record(RequestRecord{
 			TraceID: p.traceID, Graph: c.cfg.Graph, Kind: string(q.Kind),
@@ -290,6 +336,12 @@ func (c *Coalescer) Submit(ctx context.Context, q Query) (Answer, error) {
 		return Answer{}, ErrQueueFull
 	}
 	c.met.Requests.Add(1)
+	// A batch traverses exactly one graph version. A request pinned to a
+	// different version than the batch being filled cuts that batch first
+	// and starts a fresh one.
+	if len(c.pending) > 0 && snapVersion(c.pending[0]) != snapVersion(p) {
+		c.cutLocked()
+	}
 	c.pending = append(c.pending, p)
 	if len(c.pending) >= c.cfg.MaxBatch {
 		c.cutLocked()
@@ -373,6 +425,25 @@ func (c *Coalescer) Close() {
 	c.wg.Wait()
 }
 
+// releaseSnap releases a request's pinned snapshot, if any. Safe on every
+// exit path: dyngraph releases are idempotent, but the coalescer still
+// releases each pin exactly once.
+func releaseSnap(p *pendingReq) {
+	if p.snap != nil {
+		p.snap.Release()
+		p.snap = nil
+	}
+}
+
+// snapVersion is the batch-cut key: 0 for static graphs (every request
+// compatible), the pinned version otherwise.
+func snapVersion(p *pendingReq) uint64 {
+	if p.snap == nil {
+		return 0
+	}
+	return p.snap.Version()
+}
+
 // slotAcc accumulates one source slot's per-worker traversal tallies.
 type slotAcc struct {
 	sum     int64 // sum of discovery depths (closeness numerator)
@@ -390,6 +461,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 	live := batch[:0]
 	for _, p := range batch {
 		if err := p.ctx.Err(); err != nil {
+			releaseSnap(p)
 			p.done <- outcome{err: err}
 			wait := now.Sub(p.enqueued)
 			c.cfg.Recorder.Record(RequestRecord{
@@ -404,6 +476,14 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 	if len(live) == 0 {
 		return
 	}
+	// Every live request pinned the same version (the version-keyed cut in
+	// Submit guarantees it); the batch traverses that snapshot. Pins drop
+	// only after the demux, so compaction cannot retire the view mid-run.
+	defer func() {
+		for _, p := range live {
+			releaseSnap(p)
+		}
+	}()
 
 	sources := make([]int, len(live))
 	// Per-slot read-only target index (vertex -> Distances position) and
@@ -454,8 +534,12 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 
 	ctx, cancel := batchContext(live)
 	defer cancel()
+	runner := c.g.RunBatch
+	if live[0].snap != nil {
+		runner = live[0].snap.RunBatch
+	}
 	sp := c.cfg.Tracer.StartSpan("coalescer-flush", c.cfg.Graph)
-	res, runErr := c.g.RunBatch(ctx, sources, opt, func(workerID, sourceIdx, vertex, depth int) {
+	res, runErr := runner(ctx, sources, opt, func(workerID, sourceIdx, vertex, depth int) {
 		a := &accs[workerID][sourceIdx]
 		a.sum += int64(depth)
 		a.reached++
@@ -521,6 +605,7 @@ func (c *Coalescer) runBatch(batch []*pendingReq) {
 			Wait:         now.Sub(p.enqueued),
 			Run:          res.Elapsed,
 			TraceID:      p.traceID,
+			GraphVersion: snapVersion(p),
 		}
 		switch p.q.Kind {
 		case KindBFS:

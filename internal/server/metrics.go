@@ -7,8 +7,12 @@ import (
 	"time"
 
 	msbfs "repro"
+	"repro/internal/dyngraph"
 	"repro/internal/metrics"
 )
+
+// dyngraphStats keeps the render function signature local.
+type dyngraphStats = dyngraph.Stats
 
 // Metrics aggregates one coalescer's serving statistics. All fields are
 // safe for concurrent update; the /metrics endpoint renders a snapshot.
@@ -99,6 +103,21 @@ func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
 		}
 	}
 	fmt.Fprintf(w, "bfsd_gteps%s %.4f\n", l, m.GTEPS())
+}
+
+// writeDynTo renders a dynamic graph's ingest/versioning gauges and
+// counters next to the graph's serving metrics.
+func writeDynTo(w io.Writer, graph string, st dyngraphStats) {
+	l := fmt.Sprintf("{graph=%q}", graph)
+	fmt.Fprintf(w, "bfsd_graph_version%s %d\n", l, st.Version)
+	fmt.Fprintf(w, "bfsd_ingest_batches_total%s %d\n", l, st.IngestBatches)
+	fmt.Fprintf(w, "bfsd_ingest_edges_total%s %d\n", l, st.IngestEdges)
+	fmt.Fprintf(w, "bfsd_ingest_rejected_total%s %d\n", l, st.IngestRejected)
+	fmt.Fprintf(w, "bfsd_ingest_delta_arcs%s %d\n", l, st.DeltaArcs)
+	fmt.Fprintf(w, "bfsd_ingest_pinned_snapshots%s %d\n", l, st.PinnedNow)
+	fmt.Fprintf(w, "bfsd_ingest_retained_versions%s %d\n", l, st.RetainedViews)
+	fmt.Fprintf(w, "bfsd_compactions_total%s %d\n", l, st.Compactions)
+	fmt.Fprintf(w, "bfsd_retired_generations_total%s %d\n", l, st.RetiredGens)
 }
 
 // writeEngineTo renders the daemon engine's pool/arena occupancy gauges

@@ -12,6 +12,7 @@ import (
 
 	msbfs "repro"
 	"repro/internal/cluster"
+	"repro/internal/dyngraph"
 	"repro/internal/obs"
 )
 
@@ -31,6 +32,10 @@ type Entry struct {
 	// graph's batches run on a shard cluster instead of the local engine;
 	// nil for locally-served graphs.
 	ClusterMet *cluster.Metrics
+	// Dyn is the MVCC ingest layer when the graph was registered with
+	// AddDynamic/LoadDynamic; nil for static graphs. G then holds the
+	// relabeled seed CSR (version 1), and queries run over Dyn snapshots.
+	Dyn *dyngraph.DynGraph
 }
 
 // Submit validates q against the graph (error, not panic, on bad ids),
@@ -51,6 +56,61 @@ func (e *Entry) Submit(ctx context.Context, q Query) (Answer, error) {
 		}
 	}
 	return e.Coal.Submit(ctx, q)
+}
+
+// ApplyEdges streams a batch of edges (external vertex ids) into a dynamic
+// graph. Endpoints are range-checked here — before the permutation lookup
+// — then translated to the relabeled space the traversals run in, exactly
+// as query sources are. Returns ErrBadRequest for static graphs.
+func (e *Entry) ApplyEdges(edges []msbfs.Edge) (dyngraph.ApplyResult, error) {
+	if e.Dyn == nil {
+		return dyngraph.ApplyResult{}, fmt.Errorf("%w: graph %q is not dynamic", ErrBadRequest, e.Name)
+	}
+	n := e.G.NumVertices()
+	for i, ed := range edges {
+		if int(ed.U) >= n || int(ed.V) >= n {
+			e.Dyn.RecordRejected()
+			return dyngraph.ApplyResult{}, fmt.Errorf("%w: edge[%d] = (%d, %d) out of range [0, %d)",
+				ErrBadRequest, i, ed.U, ed.V, n)
+		}
+	}
+	if e.Perm != nil {
+		mapped := make([]msbfs.Edge, len(edges))
+		for i, ed := range edges {
+			mapped[i] = msbfs.Edge{U: e.Perm[ed.U], V: e.Perm[ed.V]}
+		}
+		edges = mapped
+	}
+	return e.Dyn.ApplyEdges(edges)
+}
+
+// dynRunner adapts a DynGraph to the BatchRunner shape the coalescer's
+// non-snapshot fallback path needs (validation sizing plus a run over the
+// current version).
+type dynRunner struct{ d *dyngraph.DynGraph }
+
+func (dr dynRunner) RunBatch(ctx context.Context, sources []int, opt msbfs.Options,
+	visit func(workerID, sourceIdx, vertex, depth int)) (*msbfs.MultiResult, error) {
+	snap, err := dr.d.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Release()
+	return snap.RunBatch(ctx, sources, opt, visit)
+}
+
+func (dr dynRunner) NumVertices() int { return dr.d.NumVertices() }
+
+// dynSource adapts DynGraph's concrete snapshots to the coalescer's
+// SnapshotSource interface.
+type dynSource struct{ d *dyngraph.DynGraph }
+
+func (s dynSource) AcquireVersion(ver uint64) (GraphSnapshot, error) {
+	snap, err := s.d.AcquireVersion(ver) //bfs:arena-held caller (the coalescer) unpins via GraphSnapshot.Release
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
 }
 
 // Registry holds the named graphs a server instance serves, plus the
@@ -217,6 +277,58 @@ func (r *Registry) AddCluster(ctx context.Context, name, spec string, g *msbfs.G
 	return r.register(e)
 }
 
+// LoadDynamic materializes a graph from spec as Load does, then registers
+// it as a dynamic graph: the built graph seeds version 1 and the entry
+// accepts streamed edges through ApplyEdges (the POST /graphs/{id}/edges
+// endpoint).
+func (r *Registry) LoadDynamic(name, spec string, cfg Config, dcfg dyngraph.Config) (*Entry, error) {
+	sp := r.tracer.StartSpan("graph-build", spec)
+	g, err := buildGraph(spec)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("server: graph %q: %w", name, err)
+	}
+	return r.AddDynamic(name, spec, g, true, cfg, dcfg)
+}
+
+// AddDynamic registers an already-built graph as a dynamic one. The graph
+// is striped-relabeled like every served graph (when relabel is set);
+// streamed edges are translated through the same permutation on ingest.
+// The registry wires its span tracer into dcfg so ingest and compaction
+// phases land in the daemon's flight recorder, and sizes the compaction
+// rebuild to the serving worker count.
+func (r *Registry) AddDynamic(name, spec string, g *msbfs.Graph, relabel bool, cfg Config, dcfg dyngraph.Config) (*Entry, error) {
+	if cfg.Graph == "" {
+		cfg.Graph = name
+	}
+	cfg = r.wireEngine(cfg.normalize())
+	var perm []uint32
+	if relabel && g.NumVertices() > 0 {
+		sp := r.tracer.StartSpan("relabel", name)
+		g, perm = g.Relabel(msbfs.LabelStriped, cfg.Workers, 512, 1)
+		sp.End()
+	}
+	if dcfg.Tracer == nil {
+		dcfg.Tracer = r.tracer
+	}
+	if dcfg.Workers <= 0 {
+		dcfg.Workers = cfg.Workers
+	}
+	d := dyngraph.New(g, dcfg)
+	cfg.Snapshots = dynSource{d: d}
+	met := NewMetrics()
+	e := &Entry{
+		Name: name,
+		Spec: spec,
+		G:    g,
+		Perm: perm,
+		Met:  met,
+		Coal: NewBatchCoalescer(dynRunner{d: d}, cfg, met, g.NewEdgeCounter().EdgesForAll),
+		Dyn:  d,
+	}
+	return r.register(e)
+}
+
 func (r *Registry) add(name, spec string, g *msbfs.Graph, relabel bool, cfg Config) (*Entry, error) {
 	if cfg.Graph == "" {
 		cfg.Graph = name
@@ -290,6 +402,9 @@ func (r *Registry) Close() {
 	r.mu.RUnlock()
 	for _, e := range entries {
 		e.Coal.Close()
+		if e.Dyn != nil {
+			e.Dyn.Close()
+		}
 	}
 	r.eng.Close()
 }

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	msbfs "repro"
 	"repro/internal/cluster"
+	"repro/internal/dyngraph"
 )
 
 // Server is the HTTP front end: JSON query endpoints over a Registry, plus
@@ -21,9 +23,17 @@ import (
 //	POST /closeness     {"graph","source"}                  -> closeness
 //	POST /reachability  {"graph","source","target"}         -> reachable
 //	POST /khop          {"graph","source","hops"}           -> count
+//	POST /graphs/{graph}/edges  {"edges":[[u,v],...]}       -> streamed ingest (dynamic graphs)
 //	GET  /graphs                                            -> served graphs + sizes
 //	GET  /healthz                                           -> liveness
 //	GET  /metrics                                           -> Prometheus text format
+//
+// Query endpoints accept ?version=N to pin the traversal to a specific
+// published version of a dynamic graph (410 once it ages out of retention,
+// 400 if it was never published); responses carry the version served.
+// Ingest answers 409 when the delta overlay is full and compaction is
+// lagging — the backpressure signal to retry after the compactor catches
+// up.
 //
 // Every query response carries the width of the batch that served it and
 // the queue/traversal times, so clients (cmd/bfsload) can observe the
@@ -42,6 +52,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /closeness", s.query(KindCloseness))
 	s.mux.HandleFunc("POST /reachability", s.query(KindReachability))
 	s.mux.HandleFunc("POST /khop", s.query(KindKHop))
+	s.mux.HandleFunc("POST /graphs/{graph}/edges", s.ingest)
 	s.mux.HandleFunc("GET /graphs", s.graphs)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
@@ -69,6 +80,9 @@ type queryRequest struct {
 	Hops    int    `json:"hops,omitempty"`    // khop radius
 	// TimeoutMS overrides the server's request timeout (bounded by it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Version pins the query to a published version of a dynamic graph
+	// (0: current). The ?version= query parameter takes precedence.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // queryResponse is the JSON answer. Kind-specific fields are omitted when
@@ -87,6 +101,7 @@ type queryResponse struct {
 	WaitMicros   int64   `json:"wait_us"`
 	RunMicros    int64   `json:"run_us"`
 	TraceID      uint64  `json:"trace_id,omitempty"`
+	GraphVersion uint64  `json:"graph_version,omitempty"`
 }
 
 type errorResponse struct {
@@ -106,7 +121,16 @@ func (s *Server) query(kind Kind) http.HandlerFunc {
 				req.Graph, strings.Join(s.reg.Names(), ", ")))
 			return
 		}
-		q := Query{Kind: kind, Source: req.Source, Targets: req.Targets, Hops: req.Hops}
+		q := Query{Kind: kind, Source: req.Source, Targets: req.Targets, Hops: req.Hops,
+			Version: req.Version}
+		if vs := r.URL.Query().Get("version"); vs != "" {
+			v, err := strconv.ParseUint(vs, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?version=%q: %w", vs, err))
+				return
+			}
+			q.Version = v
+		}
 		if kind == KindReachability {
 			if req.Target == nil {
 				writeError(w, http.StatusBadRequest, errors.New("reachability requires \"target\""))
@@ -142,6 +166,7 @@ func (s *Server) query(kind Kind) http.HandlerFunc {
 			WaitMicros:   ans.Wait.Microseconds(),
 			RunMicros:    ans.Run.Microseconds(),
 			TraceID:      ans.TraceID,
+			GraphVersion: ans.GraphVersion,
 		}
 		if kind == KindReachability {
 			resp.Reachable = &ans.Reachable
@@ -150,12 +175,74 @@ func (s *Server) query(kind Kind) http.HandlerFunc {
 	}
 }
 
+// ingestRequest is the POST /graphs/{graph}/edges body: each edge is a
+// [u, v] pair of external vertex ids.
+type ingestRequest struct {
+	Edges [][2]uint32 `json:"edges"`
+}
+
+// ingestResponse reports what the batch did and which version now serves.
+type ingestResponse struct {
+	Graph      string `json:"graph"`
+	Version    uint64 `json:"version"`
+	Accepted   int    `json:"accepted"`
+	Duplicates int    `json:"duplicates"`
+	SelfLoops  int    `json:"self_loops"`
+	DeltaArcs  int64  `json:"delta_arcs"`
+}
+
+// ingest streams an edge batch into a dynamic graph. 400 for malformed
+// bodies, out-of-range endpoints or static graphs; 409 when the delta is
+// full and compaction lags (retry after backoff); 404 for unknown graphs.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("graph"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q (serving: %s)",
+			r.PathValue("graph"), strings.Join(s.reg.Names(), ", ")))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	edges := make([]msbfs.Edge, len(req.Edges))
+	for i, p := range req.Edges {
+		edges[i] = msbfs.Edge{U: p[0], V: p[1]}
+	}
+	res, err := e.ApplyEdges(edges)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Graph:      e.Name,
+		Version:    res.Version,
+		Accepted:   res.Accepted,
+		Duplicates: res.Duplicates,
+		SelfLoops:  res.SelfLoops,
+		DeltaArcs:  res.DeltaArcs,
+	})
+}
+
 // writeSubmitError maps coalescer errors onto HTTP status codes; 429
 // carries a Retry-After hint sized to the flush cadence.
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrBadRequest):
+	case errors.Is(err, ErrBadRequest), errors.Is(err, dyngraph.ErrBadEdge),
+		errors.Is(err, dyngraph.ErrVersionFuture):
 		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, dyngraph.ErrVersionGone):
+		// The pinned version aged out of retention: permanently gone.
+		writeError(w, http.StatusGone, err)
+	case errors.Is(err, dyngraph.ErrCompactionLag):
+		// Ingest backpressure: the delta overlay is full until the
+		// compactor folds it into the CSR. Conflict with current state,
+		// retryable — 409.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, dyngraph.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
@@ -181,19 +268,28 @@ type graphInfo struct {
 	Vertices int    `json:"vertices"`
 	Edges    int64  `json:"edges"`
 	MaxBatch int    `json:"max_batch"`
+	Dynamic  bool   `json:"dynamic,omitempty"`
+	Version  uint64 `json:"version,omitempty"`
 }
 
 func (s *Server) graphs(w http.ResponseWriter, _ *http.Request) {
 	var infos []graphInfo
 	for _, name := range s.reg.Names() {
 		e, _ := s.reg.Get(name)
-		infos = append(infos, graphInfo{
+		info := graphInfo{
 			Name:     e.Name,
 			Spec:     e.Spec,
 			Vertices: e.G.NumVertices(),
 			Edges:    e.G.NumEdges(),
 			MaxBatch: e.Coal.Config().MaxBatch,
-		})
+		}
+		if e.Dyn != nil {
+			st := e.Dyn.Stats()
+			info.Dynamic = true
+			info.Version = st.Version
+			info.Edges = st.BaseEdges + st.DeltaArcs/2
+		}
+		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -214,6 +310,9 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		e.Met.writeTo(w, name, e.Coal.QueueLen())
 		if e.ClusterMet != nil {
 			e.ClusterMet.WriteTo(w, name)
+		}
+		if e.Dyn != nil {
+			writeDynTo(w, name, e.Dyn.Stats())
 		}
 	}
 	writeEngineTo(w, s.reg.EngineStats())

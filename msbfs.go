@@ -47,6 +47,12 @@ type Graph struct {
 // Edge is an undirected edge between two vertex ids.
 type Edge = graph.Edge
 
+// Overlay is the immutable per-vertex overflow adjacency a dynamic graph
+// layers over its CSR between compactions (see internal/dyngraph). Pass
+// one via Options.Overlay to traverse (CSR + overlay) as a single
+// consistent view.
+type Overlay = graph.Overlay
+
 // NewGraph builds a graph with n vertices from an edge list. Self-loops and
 // duplicate edges are dropped.
 func NewGraph(n int, edges []Edge) *Graph {

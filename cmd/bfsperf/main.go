@@ -82,15 +82,16 @@ func (h handicapFlags) Set(v string) error {
 func runCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bfsperf run", flag.ContinueOnError)
 	var (
-		quick   = fs.Bool("quick", false, "small graph and few reps (the CI sizing)")
-		out     = fs.String("out", "", "output path (default BENCH_<sha>.json)")
-		scale   = fs.Int("scale", 0, "Kronecker scale (0: suite default)")
-		sources = fs.Int("sources", 0, "multi-source workload size (0: 64)")
-		workers = fs.Int("workers", 0, "traversal workers (0: GOMAXPROCS)")
-		reps    = fs.Int("reps", 0, "measured repetitions (0: suite default)")
-		warmup  = fs.Int("warmup", 0, "warmup rounds (0: suite default)")
-		seed    = fs.Uint64("seed", 0, "workload seed (0: suite default)")
-		verbose = fs.Bool("v", false, "progress output")
+		quick      = fs.Bool("quick", false, "small graph and few reps (the CI sizing)")
+		out        = fs.String("out", "", "output path (default BENCH_<sha>.json)")
+		scale      = fs.Int("scale", 0, "Kronecker scale (0: suite default)")
+		largeScale = fs.Int("large-scale", 0, "Kronecker scale of the large fixture (0: suite default)")
+		sources    = fs.Int("sources", 0, "multi-source workload size (0: 64)")
+		workers    = fs.Int("workers", 0, "traversal workers (0: GOMAXPROCS)")
+		reps       = fs.Int("reps", 0, "measured repetitions (0: suite default)")
+		warmup     = fs.Int("warmup", 0, "warmup rounds (0: suite default)")
+		seed       = fs.Uint64("seed", 0, "workload seed (0: suite default)")
+		verbose    = fs.Bool("v", false, "progress output")
 	)
 	handicaps := handicapFlags{}
 	fs.Var(handicaps, "handicap",
@@ -103,13 +104,14 @@ func runCmd(args []string, stdout io.Writer) error {
 	}
 
 	cfg := perf.Config{
-		Quick:   *quick,
-		Scale:   *scale,
-		Sources: *sources,
-		Workers: *workers,
-		Reps:    *reps,
-		Warmup:  *warmup,
-		Seed:    *seed,
+		Quick:      *quick,
+		Scale:      *scale,
+		LargeScale: *largeScale,
+		Sources:    *sources,
+		Workers:    *workers,
+		Reps:       *reps,
+		Warmup:     *warmup,
+		Seed:       *seed,
 	}
 	if len(handicaps) > 0 {
 		cfg.Handicaps = handicaps

@@ -1,7 +1,7 @@
 // Command bfsvet is the repository's concurrency-correctness multichecker:
 // it runs the custom internal/analysis passes (arenarelease, atomicword,
-// falseshare, hotalloc, waitgroupleak) over the module's packages, exactly
-// like `go vet` runs the stock passes.
+// falseshare, hotalloc, nocas, waitgroupleak) over the module's packages,
+// exactly like `go vet` runs the stock passes.
 //
 // Usage:
 //
@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis/atomicword"
 	"repro/internal/analysis/falseshare"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/nocas"
 	"repro/internal/analysis/waitgroupleak"
 )
 
@@ -38,6 +39,7 @@ var analyzers = []*analysis.Analyzer{
 	atomicword.Analyzer,
 	falseshare.Analyzer,
 	hotalloc.Analyzer,
+	nocas.Analyzer,
 	waitgroupleak.Analyzer,
 }
 

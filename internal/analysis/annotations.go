@@ -49,6 +49,16 @@ const (
 	// to an unpadded element that is deliberately unpadded (e.g. written
 	// once per phase, not per task); requires a justification.
 	DirectiveShareOK = "bfs:share-ok"
+	// DirectiveNoCAS marks a function (doc comment) as an atomics-free zone:
+	// nocas flags any sync/atomic call or Atomic*-named call inside it. The
+	// segmented scatter/merge/resolve kernels carry it to prove the
+	// worker-owned frontier path stays plain-store only.
+	DirectiveNoCAS = "bfs:nocas"
+	// DirectivePerWorker marks a struct type (doc comment) as the element of
+	// a per-worker-indexed array: falseshare requires its size to be a
+	// multiple of the 64-byte cache line so adjacent workers' elements never
+	// share a line (segment headers, merge-accounting cells).
+	DirectivePerWorker = "bfs:perworker"
 )
 
 // Annotations indexes every comment line of a set of files so analyzers can
@@ -130,10 +140,20 @@ func (a *Annotations) onLine(filename string, line int, directive string) bool {
 // DocMarked reports whether the doc comment of fn carries the directive,
 // scoping it to the whole function body.
 func DocMarked(fn *ast.FuncDecl, directive string) bool {
-	if fn == nil || fn.Doc == nil {
+	if fn == nil {
 		return false
 	}
-	for _, c := range fn.Doc.List {
+	return GroupMarked(fn.Doc, directive)
+}
+
+// GroupMarked reports whether any line of the comment group carries the
+// directive — the doc-comment placement rule for declarations that are not
+// function declarations (e.g. //bfs:perworker on a struct type).
+func GroupMarked(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
 		for j, lineText := range strings.Split(c.Text, "\n") {
 			if directiveOf(lineText, j == 0) == directive {
 				return true

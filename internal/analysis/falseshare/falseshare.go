@@ -18,10 +18,20 @@
 // number — so deliberately strided slots (`counts[workerID*8]`) never match.
 // A site where the narrow element is intentional (cold path, measurement
 // scaffolding) is suppressed with //bfs:share-ok plus a justification.
+//
+// The pass also enforces the perworker rule: a struct type whose doc
+// comment carries //bfs:perworker declares itself the element of a
+// per-worker-indexed array (frontier segment headers, merge-accounting
+// cells — see bitset.Shadows), and its size must be a multiple of the
+// cache line so adjacent workers' elements can never share one. The
+// write-site rule above only sees writes indexed by the literal workerID
+// ident; the type-level contract holds even when the container is indexed
+// through an owner variable, as the barrier merge does.
 package falseshare
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"runtime"
 
@@ -43,7 +53,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flags writes to x[workerID] (and x[workerID].f) where x is a slice or array with " +
 		"elements smaller than a 64-byte cache line: adjacent workers' slots share a line and " +
 		"every write cross-invalidates it; pad the element type to 64 bytes or suppress a " +
-		"justified site with //bfs:share-ok",
+		"justified site with //bfs:share-ok; struct types marked //bfs:perworker must be sized " +
+		"to a cache-line multiple",
 	Run: run,
 }
 
@@ -56,6 +67,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.GenDecl:
+				checkPerWorkerTypes(pass, ann, sizes, n)
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
 					checkWrite(pass, ann, sizes, lhs)
@@ -67,6 +80,44 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// checkPerWorkerTypes reports struct types marked //bfs:perworker whose
+// size is not a cache-line multiple. The directive lives in the doc comment
+// of the type declaration (or of the TypeSpec, inside a grouped block).
+func checkPerWorkerTypes(pass *analysis.Pass, ann *analysis.Annotations, sizes types.Sizes, decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		marked := analysis.GroupMarked(decl.Doc, analysis.DirectivePerWorker) ||
+			analysis.GroupMarked(ts.Doc, analysis.DirectivePerWorker) ||
+			ann.Marked(ts.Pos(), analysis.DirectivePerWorker)
+		if !marked {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[ts.Name]
+		if !ok || obj == nil || obj.Type() == nil {
+			continue
+		}
+		if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+			pass.Reportf(ts.Pos(),
+				"//bfs:perworker on non-struct type %s: the directive pads per-worker array elements and only applies to structs",
+				ts.Name.Name)
+			continue
+		}
+		size := sizes.Sizeof(obj.Type())
+		if size%cacheLine != 0 {
+			pass.Reportf(ts.Pos(),
+				"per-worker struct %s is %d bytes, not a multiple of the %d-byte cache line: adjacent workers' "+
+					"elements share a line; add a pad field (see bitset.shadowSlab)",
+				ts.Name.Name, size, cacheLine)
+		}
+	}
 }
 
 // checkWrite reports lhs when it writes through a worker-indexed element

@@ -67,3 +67,52 @@ func ArrayWrite(workerID int) {
 func ReadOnly(busy []int64, workerID int) int64 {
 	return busy[workerID] // reads don't invalidate the line
 }
+
+// segmentHeader mirrors the shadow-slab header: declared per-worker and
+// padded to exactly one cache line, so it stays quiet.
+//
+//bfs:perworker
+type segmentHeader struct {
+	words []uint64
+	_     [40]byte
+}
+
+// mergeCounters mirrors a two-line accounting cell: 128 bytes is a valid
+// cache-line multiple too.
+//
+//bfs:perworker
+type mergeCounters struct {
+	scanned [8]int64
+	folded  [8]int64
+}
+
+// unpaddedHeader forgot its pad field.
+//
+//bfs:perworker
+type unpaddedHeader struct { // want `per-worker struct unpaddedHeader is 24 bytes, not a multiple`
+	words []uint64
+}
+
+type ( // grouped declarations carry the directive per TypeSpec
+	//bfs:perworker
+	groupedBad struct { // want `per-worker struct groupedBad is 8 bytes, not a multiple`
+		v int64
+	}
+
+	groupedUnmarked struct { // no directive: quiet
+		v int64
+	}
+)
+
+//bfs:perworker
+type notAStruct []int64 // want `//bfs:perworker on non-struct type notAStruct`
+
+// plainNarrow has no directive: the type-level rule stays quiet even
+// though a workerID-indexed write to it would be flagged by the site rule.
+type plainNarrow struct {
+	v int64
+}
+
+func useDecls(h segmentHeader, m mergeCounters, u unpaddedHeader, g groupedBad, gu groupedUnmarked, na notAStruct, p plainNarrow) {
+	_, _, _, _, _, _, _ = h, m, u, g, gu, na, p
+}

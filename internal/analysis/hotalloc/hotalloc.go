@@ -40,9 +40,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make/new/append calls, New*/Create* constructor calls, slice/map composite " +
 		"literals and closures inside loops annotated //bfs:hot; methods on an execution Engine " +
-		"(the arena borrow/return path) are exempt; tracer-surface calls (Tracer/Traversal/" +
-		"SpanHandle receivers) must sit behind a `recv != nil` guard (tracezero); suppress a " +
-		"justified site with //bfs:alloc-ok",
+		"or a frontier-segment Shadows (the arena borrow/return paths) are exempt; tracer-surface " +
+		"calls (Tracer/Traversal/SpanHandle receivers) must sit behind a `recv != nil` guard " +
+		"(tracezero); suppress a justified site with //bfs:alloc-ok",
 	Run: run,
 }
 
@@ -132,10 +132,11 @@ func builtinAllocName(pass *analysis.Pass, call *ast.CallExpr) string {
 // constructorCallName returns the callee name if call invokes a
 // constructor-style function or method (New*/Create* prefix, the
 // repository's naming convention for allocating builders: sched.NewPool,
-// bitset.NewState, sched.CreateTasks, ...), or "". Methods on a named type
-// Engine are exempt: the engine's borrow/checkout surface is the sanctioned
-// arena-recycled (steady-state allocation-free) way to obtain state inside
-// a hot region.
+// bitset.NewState, sched.CreateTasks, ...), or "". Methods on the arena
+// receiver types are exempt: the engine's borrow/checkout surface and the
+// frontier-segment borrow surface (bitset.Shadows, whose slabs the engine
+// allocates once per shell) are the sanctioned arena-recycled
+// (steady-state allocation-free) ways to obtain state inside a hot region.
 func constructorCallName(pass *analysis.Pass, call *ast.CallExpr) string {
 	var name string
 	switch fun := call.Fun.(type) {
@@ -143,7 +144,7 @@ func constructorCallName(pass *analysis.Pass, call *ast.CallExpr) string {
 		name = fun.Name
 	case *ast.SelectorExpr:
 		name = fun.Sel.Name
-		if sel, ok := pass.TypesInfo.Selections[fun]; ok && isEngineRecv(sel) {
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && isArenaRecv(sel) {
 			return ""
 		}
 	default:
@@ -155,15 +156,25 @@ func constructorCallName(pass *analysis.Pass, call *ast.CallExpr) string {
 	return ""
 }
 
-// isEngineRecv reports whether sel is a method selection on a named type
-// Engine (or *Engine), in any package.
-func isEngineRecv(sel *types.Selection) bool {
+// arenaRecvNames are the named receiver types whose method surface is
+// engine-managed: calls on them never allocate in steady state, so a
+// New*/Create*-prefixed method name is not an allocation signal. Engine is
+// the core arena; Shadows is the worker-owned frontier-segment substrate
+// whose borrow sites (Writer, MergeRange) hand out engine-allocated slabs.
+var arenaRecvNames = map[string]bool{
+	"Engine":  true,
+	"Shadows": true,
+}
+
+// isArenaRecv reports whether sel is a method selection on one of the
+// arena receiver types (possibly via a pointer), in any package.
+func isArenaRecv(sel *types.Selection) bool {
 	t := sel.Recv()
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Engine"
+	return ok && arenaRecvNames[named.Obj().Name()]
 }
 
 // tracerTypeNames are the named receiver types of the observability

@@ -1,0 +1,107 @@
+// Package nocas defines an analyzer that proves annotated functions contain
+// no atomic operations.
+//
+// The worker-owned frontier substrate (paper Section 3.1.1, reworked in the
+// segmented kernels) removes CAS from the top-down hot path: each worker
+// scatters into a private shadow slab with plain stores and the stripes are
+// folded at the phase barrier by their single owner. That property is the
+// whole point of the refactor — and it is exactly the kind of property that
+// erodes silently, one "just this one atomic" patch at a time, until the
+// coherence traffic is back. This pass makes it checkable: a function whose
+// doc comment carries //bfs:nocas must contain
+//
+//   - no calls into package sync/atomic (functions or methods on the
+//     atomic.Int64-style wrapper types), and
+//   - no calls to functions or methods whose name begins with "Atomic" —
+//     the repository's naming convention for the bitset CAS-OR surface
+//     (AtomicOrVertex, AtomicOr, ...).
+//
+// The segmented scatter, merge, resolve and bottom-up tasks of the MS-PBFS
+// and SMS-PBFS kernels carry the directive; the CAS fallback tasks (used
+// when segmentation is disabled) deliberately do not. There is no waiver
+// directive: if a marked function needs an atomic, remove the mark and with
+// it the claim.
+package nocas
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// atomicPkgPath is the import path whose callables are always atomic ops.
+const atomicPkgPath = "sync/atomic"
+
+// atomicNamePrefix is the naming convention for the repository's own
+// atomic primitives (the bitset CAS-OR surface).
+const atomicNamePrefix = "Atomic"
+
+// Analyzer flags atomic operations inside //bfs:nocas functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "nocas",
+	Doc: "flags sync/atomic calls and Atomic*-named calls inside functions whose doc comment " +
+		"carries //bfs:nocas: the worker-owned scatter/merge kernels must stay plain-store only; " +
+		"there is no waiver — an atomic in a marked function means the mark (and the claim) is wrong",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !analysis.DocMarked(fn, analysis.DirectiveNoCAS) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody reports every atomic call site in the marked function's body.
+// Function literals nested inside the body are part of the claim: the mark
+// covers everything the function executes inline.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, kind := atomicCallee(pass, call); name != "" {
+			pass.Reportf(call.Pos(),
+				"%s %s inside //bfs:nocas function %s: the worker-owned frontier path must use plain stores only",
+				kind, name, fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// atomicCallee classifies call's callee: a sync/atomic callable (function
+// or method), an Atomic*-named function or method, or neither ("" name).
+func atomicCallee(pass *analysis.Pass, call *ast.CallExpr) (name, kind string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == atomicPkgPath {
+		return obj.Name(), "sync/atomic call"
+	}
+	if strings.HasPrefix(obj.Name(), atomicNamePrefix) {
+		return obj.Name(), "atomic primitive"
+	}
+	return "", ""
+}

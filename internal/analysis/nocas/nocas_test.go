@@ -1,0 +1,12 @@
+package nocas_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nocas"
+)
+
+func TestNoCAS(t *testing.T) {
+	analysistest.Run(t, "testdata", nocas.Analyzer, "a")
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/numa"
 	"repro/internal/sched"
 )
 
@@ -84,6 +85,15 @@ type shardQuery struct {
 	acc             []*bitset.State
 	accLo           []int
 	levels          [][]int32 // k rows x rlen
+
+	// shadows is the worker-owned scatter substrate for the local half of
+	// the step (same protocol as MSPBFSEngine): local-neighbor writes go
+	// to worker-private slabs with plain stores and the stripe owners
+	// OR-merge into next before the delta exchange, so the encoder always
+	// reads fully published owner stripes. Peer accumulators keep CAS —
+	// their traffic is the partition cut, far smaller than the local scan.
+	// Nil when the local slice is empty or the query runs one worker.
+	shadows *bitset.Shadows
 
 	pool        *sched.Pool
 	releasePool func()
@@ -426,8 +436,15 @@ func (s *Shard) handleStart(payload []byte) error {
 	}
 	if g.rlen > 0 {
 		q.pool, q.releasePool = s.eng.BorrowPool(g.workers) //bfs:arena-held pool lives for the query; handleEnd releases it
-		q.tq = sched.CreateTasks(g.rlen, shardSplitSize, g.workers)
+		// Stripe-affine task layout: worker w's queue holds the tasks of
+		// its own contiguous stripe (stealing still crosses stripes), so
+		// the static merge below covers every stripe exactly once with
+		// owner == workerID.
+		q.tq = sched.CreateStripeTasks(numa.AlignedRanges(g.rlen, g.workers, shardSplitSize), shardSplitSize)
 		q.counters = make([]stepCounter, g.workers)
+		if g.workers > 1 {
+			q.shadows = bitset.NewShadows(g.rlen*words, g.workers, nil)
+		}
 	}
 
 	// Seed the slots this shard owns: source at depth 0, already seen,
@@ -491,12 +508,20 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 	}
 	g := q.g
 
-	// Phase 1: local top-down scan. Frontier rows scatter into next
-	// (local neighbors, CAS-OR: several workers may hit one vertex) and
-	// into the per-peer accumulators (remote neighbors).
+	// Phase 1: local top-down scan. Frontier rows scatter local neighbors
+	// into the worker's private shadow slab with plain stores (worker 0
+	// writes the canonical next directly; single-worker queries have no
+	// shadows and write next unshared), and remote neighbors into the
+	// per-peer accumulators (CAS-OR: several workers may hit one vertex).
 	if g.rlen > 0 {
+		words := q.words
+		nextW := q.next.Words()
 		q.tq.Reset()
-		q.pool.ParallelFor(q.tq, func(_ int, rg sched.Range) {
+		q.pool.ParallelFor(q.tq, func(workerID int, rg sched.Range) {
+			tgt := nextW
+			if q.shadows != nil {
+				tgt = q.shadows.Writer(workerID, nextW)
+			}
 			for v := rg.Lo; v < rg.Hi; v++ {
 				if !q.cur.Any(v) {
 					continue
@@ -505,7 +530,10 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 				for _, w := range g.adj[g.offsets[v]:g.offsets[v+1]] {
 					gw := int(w)
 					if gw >= g.lo && gw < g.hi {
-						q.next.AtomicOrVertex(gw-g.lo, row)
+						off := (gw - g.lo) * words
+						for wi := 0; wi < words; wi++ {
+							tgt[off+wi] |= row[wi] //bfs:singlewriter worker-private slab (or unshared next when solo); published by the stripe merge below
+						}
 						continue
 					}
 					p := g.part.Owner(gw)
@@ -513,6 +541,16 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 				}
 			}
 		})
+		// Publish: stripe owners fold every shadow into next at the phase
+		// barrier, so the peer-delta decode (phase 3, plain OR) and the
+		// apply pass (phase 4) read fully published owner stripes. Static
+		// fetch keeps owner == workerID per stripe.
+		if q.shadows != nil {
+			q.tq.Reset()
+			q.pool.ParallelForStatic(q.tq, func(workerID int, rg sched.Range) {
+				q.shadows.MergeRange(workerID, nextW, rg.Lo*words, rg.Hi*words)
+			})
+		}
 	}
 
 	// Phase 2: concurrent per-peer delta streams — every non-empty peer

@@ -97,21 +97,23 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 	} else {
 		front.Set(source)
 	}
-	frontVertices := int64(1)
-	frontEdges := int64(g.Degree(source))
-	unexploredEdges := edgesTotal - frontEdges
+	// Beamer has no overlay (requireNoOverlay above), so the dirInputs
+	// carrier seeds with zero overlay arcs; decisions still route through
+	// the one shared decideDirection entry point.
+	var dir dirInputs
+	dir.seed(edgesTotal, 0, 1, int64(g.Degree(source)))
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
 	var dirReason string
 
-	for frontVertices > 0 {
+	for dir.frontVertices > 0 {
 		depth++
 		iterStart := time.Now()
 
 		// Direction decision (Beamer's alpha/beta heuristic).
-		bottomUp, dirReason = decideDirection(opt, bottomUp,
-			frontVertices, frontEdges, unexploredEdges, n)
+		bottomUp, dirReason = dir.decide(opt, bottomUp, n)
+		frontVertices, frontEdges := dir.frontVertices, dir.frontEdges
 
 		var scanned, updated int64
 		if bottomUp {
@@ -189,12 +191,14 @@ func Beamer(g *graph.Graph, source int, variant BeamerVariant, opt Options) *Res
 		}
 
 		visited += updated
-		unexploredEdges -= frontEdges
-		if unexploredEdges < 0 {
-			unexploredEdges = 0
+		dir.frontVertices, dir.frontEdges = frontVertices, frontEdges
+		dir.unexploredEdges -= frontEdges
+		if dir.unexploredEdges < 0 {
+			dir.unexploredEdges = 0
 		}
+		rec.noteHeuristic(dir.frontEdges, dir.unexploredEdges)
 		rec.record(int(depth), time.Since(iterStart), nil,
-			frontVertices, updated, scanned, visited, bottomUp, dirReason, nil, nil)
+			dir.frontVertices, updated, scanned, visited, bottomUp, dirReason, nil, nil)
 	}
 
 	rec.finish()

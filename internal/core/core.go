@@ -21,6 +21,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/numa"
@@ -98,6 +99,20 @@ type Options struct {
 	// (the "stop once all active BFS bits are set" optimization); used by
 	// the ablation benchmarks.
 	DisableEarlyExit bool
+	// DisableSegments switches the parallel kernels back to the shared
+	// next-frontier with per-word CAS merges (the pre-segmentation design)
+	// instead of worker-owned frontier shadows with a barrier OR-merge.
+	// Used by the A/B equivalence tests and ablation benchmarks; the
+	// segmented substrate is the default because it keeps the top-down hot
+	// loop free of atomics.
+	DisableSegments bool
+	// RealPlacement asks the engine to back this run's state arrays with
+	// NUMA-placed arena memory (mmap slabs first-touched by their owning
+	// workers, mbind stripe hints) and to pin pool workers to CPUs.
+	// Best-effort: on single-node machines or restricted containers it
+	// degrades to plain allocation. Independent of Topology, which drives
+	// the *modeled* placement analysis.
+	RealPlacement bool
 	// Pool optionally supplies a pre-started worker pool to reuse across
 	// runs; it must have exactly Workers workers. When nil, the run
 	// borrows a pooled worker set from Engine (or the package default
@@ -202,6 +217,9 @@ func (o Options) resolvePool(eng *Engine) (pool *sched.Pool, borrowed bool) {
 		}
 		return o.Pool, false
 	}
+	if o.RealPlacement {
+		return eng.borrowPinnedPool(o.workers()), true //bfs:arena-held borrowed=true obliges the caller to hand the pool back via returnPool at end of run
+	}
 	return eng.borrowPool(o.workers()), true //bfs:arena-held borrowed=true obliges the caller to hand the pool back via returnPool at end of run
 }
 
@@ -305,6 +323,46 @@ type iterRecorder struct {
 	tr                    *obs.Traversal
 	pool                  *sched.Pool
 	prevTasks, prevSteals []int64
+
+	// pend* carry the segmented-substrate and direction-heuristic extras
+	// the kernels supply via noteMerge/noteHeuristic between iterations;
+	// record consumes and clears them.
+	pendMergeWords  int64
+	pendWorkerMerge []int64
+	pendFrontEdges  int64
+	pendUnexplored  int64
+}
+
+// noteMerge drains the shadows' per-owner merge counters into the next
+// record call, resetting them so every iteration reports a delta. With
+// tracing off the counters are still reset — the accounting must not
+// accumulate across traced and untraced runs. Nil shadows (solo worker,
+// CAS fallback, non-segmented kernels) is a no-op.
+func (r *iterRecorder) noteMerge(sh *bitset.Shadows) {
+	if sh == nil {
+		return
+	}
+	if r.tr == nil {
+		sh.ResetMergeCounts()
+		return
+	}
+	counts := sh.MergeCounts(nil)
+	sh.ResetMergeCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	r.pendMergeWords, r.pendWorkerMerge = total, counts
+}
+
+// noteHeuristic supplies the direction heuristic's edge-side inputs (the
+// vertex side rides in record's frontier argument) so the flight record
+// pins the full decideDirection input vector per iteration.
+func (r *iterRecorder) noteHeuristic(frontEdges, unexplored int64) {
+	if r.tr == nil {
+		return
+	}
+	r.pendFrontEdges, r.pendUnexplored = frontEdges, unexplored
 }
 
 // newIterRecorder opens the per-traversal instrumentation. algo and
@@ -350,6 +408,9 @@ func (r *iterRecorder) record(iter int, dur time.Duration, busy []time.Duration,
 			rec.WorkerSteals = diffInt64(steals, r.prevSteals)
 			r.prevTasks, r.prevSteals = tasks, steals
 		}
+		rec.FrontierEdges, rec.UnexploredEdges = r.pendFrontEdges, r.pendUnexplored
+		rec.MergeWords, rec.WorkerMergeWords = r.pendMergeWords, r.pendWorkerMerge
+		r.pendMergeWords, r.pendWorkerMerge = 0, nil
 		r.tr.Record(rec)
 	}
 	if !r.opt.collectStats() {

@@ -32,6 +32,46 @@ const (
 // remainder), and switch back once the frontier shrinks below n/beta
 // vertices (a sparse frontier makes whole-vertex-set bottom-up scans
 // wasteful).
+// dirInputs carries the three quantities the alpha/beta heuristic feeds
+// on. They are updated in exactly one place per iteration (applyIteration),
+// which is what keeps overlay arc counts and the per-worker (per-stripe)
+// degree counters from being double-counted: the per-stripe counters
+// already include each discovered vertex's overlay extra-degree, and the
+// batch-start seeding already folded Overlay.Arcs() into the unexplored
+// pool, so nothing may add overlay edges a second time.
+type dirInputs struct {
+	frontVertices   int64
+	frontEdges      int64
+	unexploredEdges int64
+}
+
+// seed initializes the pool for a batch: all CSR edge slots plus all
+// overlay arcs, minus the edges of the seeded frontier (whose degrees,
+// including overlay extras, the caller accumulated while seeding).
+func (d *dirInputs) seed(csrEdges, overlayArcs, frontVertices, frontEdges int64) {
+	d.frontVertices = frontVertices
+	d.frontEdges = frontEdges
+	d.unexploredEdges = csrEdges + overlayArcs - frontEdges
+}
+
+// applyIteration folds one iteration's per-stripe counters — each summed
+// exactly once — into the heuristic state. frontDeg/unseenDeg come from
+// the stripe-local counters the resolve/bottom-up phases accumulate; both
+// already include overlay extra-degrees.
+func (d *dirInputs) applyIteration(frontVtx, frontDeg, unseenDeg []padCounter) {
+	d.frontVertices = sumCounters(frontVtx)
+	d.frontEdges = sumCounters(frontDeg)
+	d.unexploredEdges -= sumCounters(unseenDeg)
+	if d.unexploredEdges < 0 {
+		d.unexploredEdges = 0
+	}
+}
+
+// decide applies decideDirection over the carried inputs.
+func (d *dirInputs) decide(opt Options, bottomUp bool, n int) (bool, string) {
+	return decideDirection(opt, bottomUp, d.frontVertices, d.frontEdges, d.unexploredEdges, n)
+}
+
 func decideDirection(opt Options, bottomUp bool,
 	frontVertices, frontEdges, unexploredEdges int64, n int) (bool, string) {
 	switch opt.Direction {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/numa"
 	"repro/internal/sched"
 )
 
@@ -35,6 +36,7 @@ type Engine struct {
 	closed bool
 
 	pools   map[int][]*sched.Pool     // keyed by worker count
+	pinned  map[int][]*sched.Pool     // CPU-pinned pools (Options.RealPlacement)
 	ms      map[msKey][]*MSPBFSEngine // warm MS-PBFS shells (counters+scratch+states)
 	sms     map[smsKey][]*SMSPBFSEngine
 	states  map[stateKey][]*bitset.State
@@ -45,6 +47,14 @@ type Engine struct {
 	borrowed  int64 // artifacts currently checked out
 	hits      uint64
 	misses    uint64
+
+	// placerVal is the engine's NUMA placer (Options.RealPlacement), built
+	// lazily and retained for the process lifetime: its mmap spans back
+	// live bitset slabs inside checked-out shells and returned results, so
+	// Close must NOT release it — unmapping would turn every outstanding
+	// slab reference into a fault. The spans are reclaimed by process exit.
+	placerOnce sync.Once
+	placerVal  *numa.Placer
 }
 
 type stateKey struct {
@@ -57,6 +67,10 @@ type msKey struct {
 	words   int
 	split   int
 	workers int
+	// seg distinguishes segmented shells (worker-owned shadows allocated)
+	// from shared-CAS shells (Options.DisableSegments): the two shapes
+	// carry different arrays and must not recycle into each other.
+	seg bool
 }
 
 type smsKey struct {
@@ -64,6 +78,8 @@ type smsKey struct {
 	split   int
 	workers int
 	repr    StateRepr
+	// seg distinguishes segmented shells from shared-CAS shells; see msKey.
+	seg bool
 }
 
 // Per-key free-list bounds. Pools and kernel shells are heavyweight (a
@@ -84,6 +100,7 @@ const (
 func NewEngine() *Engine {
 	return &Engine{
 		pools:   make(map[int][]*sched.Pool),
+		pinned:  make(map[int][]*sched.Pool),
 		ms:      make(map[msKey][]*MSPBFSEngine),
 		sms:     make(map[smsKey][]*SMSPBFSEngine),
 		states:  make(map[stateKey][]*bitset.State),
@@ -144,6 +161,10 @@ func (e *Engine) Stats() EngineStats {
 		st.FreePools += len(l)
 		st.PooledWorkers += workers * len(l)
 	}
+	for workers, l := range e.pinned {
+		st.FreePools += len(l)
+		st.PooledWorkers += workers * len(l)
+	}
 	for _, l := range e.ms {
 		st.FreeShells += len(l)
 	}
@@ -177,7 +198,9 @@ func (e *Engine) arenaCounters() (hits, misses uint64) {
 func (e *Engine) Close() {
 	e.mu.Lock()
 	pools := e.pools
+	pinned := e.pinned
 	e.pools = make(map[int][]*sched.Pool)
+	e.pinned = make(map[int][]*sched.Pool)
 	e.ms = make(map[msKey][]*MSPBFSEngine)
 	e.sms = make(map[smsKey][]*SMSPBFSEngine)
 	e.states = make(map[stateKey][]*bitset.State)
@@ -191,6 +214,13 @@ func (e *Engine) Close() {
 			p.Close()
 		}
 	}
+	for _, l := range pinned {
+		for _, p := range l {
+			p.Close()
+		}
+	}
+	// The placer (and its mmap spans) is deliberately NOT released: see the
+	// field comment. Close drops pooled goroutines and arena arrays only.
 }
 
 // Prewarm spawns (or verifies) one pooled worker set of the given width so
@@ -236,15 +266,60 @@ func (e *Engine) returnPool(p *sched.Pool) {
 	if p == nil {
 		return
 	}
+	// Pinned pools recycle separately: a pool whose workers are bound to
+	// CPUs must never serve a run that did not ask for placement.
+	cache := &e.pools
+	if p.Pinned() {
+		cache = &e.pinned
+	}
 	e.mu.Lock()
 	e.borrowed--
-	if e.closed || len(e.pools[p.Workers()]) >= maxFreePools {
+	if e.closed || len((*cache)[p.Workers()]) >= maxFreePools {
 		e.mu.Unlock()
 		p.Close()
 		return
 	}
-	e.pools[p.Workers()] = append(e.pools[p.Workers()], p)
+	(*cache)[p.Workers()] = append((*cache)[p.Workers()], p)
 	e.mu.Unlock()
+}
+
+// placer returns the engine's process-lifetime NUMA placer, building it on
+// first use. Never released — see the field comment.
+func (e *Engine) placer() *numa.Placer {
+	e.placerOnce.Do(func() { e.placerVal = numa.NewPlacer() })
+	return e.placerVal
+}
+
+// slabAlloc resolves the bitset slab allocator for a run: the placer's
+// mmap-backed allocator under Options.RealPlacement (so first-touch and
+// mbind control page placement), nil (plain make) otherwise.
+func (e *Engine) slabAlloc(opt Options) bitset.ShadowAlloc {
+	if !opt.RealPlacement {
+		return nil
+	}
+	return e.placer().AllocUint64
+}
+
+// borrowPinnedPool checks out a pool whose workers are pinned to CPUs via
+// the engine's placer — the thread-affinity half of RealPlacement (the
+// memory half is slabAlloc + Placer.Interleave). Cached separately from
+// unpinned pools; hand back through returnPool as usual.
+func (e *Engine) borrowPinnedPool(workers int) *sched.Pool {
+	e.mu.Lock()
+	if l := e.pinned[workers]; len(l) > 0 {
+		p := l[len(l)-1]
+		l[len(l)-1] = nil
+		e.pinned[workers] = l[:len(l)-1]
+		e.hits++
+		e.borrowed++
+		e.mu.Unlock()
+		return p
+	}
+	e.misses++
+	e.borrowed++
+	e.mu.Unlock()
+	placer := e.placer()
+	return sched.NewPoolPinned(workers, true, placer.PinWorker)
 }
 
 // BorrowState checks out an n-vertex, words-wide bitset State for a sibling
@@ -432,6 +507,9 @@ func msShellBytes(sh *MSPBFSEngine) int64 {
 	for _, s := range sh.liveBits {
 		b += int64(cap(s)) * 8
 	}
+	if sh.shadows != nil {
+		b += sh.shadows.MemoryBytes()
+	}
 	return b
 }
 
@@ -470,5 +548,9 @@ func (e *Engine) checkinSMS(sh *SMSPBFSEngine) {
 }
 
 func smsShellBytes(sh *SMSPBFSEngine) int64 {
-	return sh.seen.MemoryBytes() + sh.buf0.MemoryBytes() + sh.buf1.MemoryBytes()
+	b := sh.seen.MemoryBytes() + sh.buf0.MemoryBytes() + sh.buf1.MemoryBytes()
+	if sh.shadows != nil {
+		b += sh.shadows.MemoryBytes()
+	}
+	return b
 }

@@ -23,16 +23,32 @@ func MSPBFS(g *graph.Graph, sources []int, opt Options) *MultiResult {
 }
 
 // MSPBFSEngine holds the reusable state of an MS-PBFS instance: the three
-// per-vertex bitset arrays, the worker pool, task layout, and the modeled
-// NUMA placement. Reusing an engine across batches amortizes allocation,
-// matching the paper's "initialize large data structures once" design
-// (Section 4.4).
+// per-vertex bitset arrays, the worker-owned frontier shadows, the worker
+// pool and stripe-affine task layouts, and the modeled NUMA placement.
+// Reusing an engine across batches amortizes allocation, matching the
+// paper's "initialize large data structures once" design (Section 4.4).
+//
+// The parallel substrate is worker-owned: the vertex space is striped
+// across workers at word-aligned borders (vBounds), each worker's task
+// queue holds its own stripe's tasks (stealing crosses stripes for load
+// balance), and the top-down scatter writes worker-private shadow slabs
+// with plain stores instead of CAS-merging into a shared next array. A
+// static merge phase at the barrier ORs the shadows into the canonical
+// next, stripe by stripe, each stripe folded by its owner. See DESIGN.md
+// §"Worker-owned frontier substrate".
 type MSPBFSEngine struct {
 	g   *graph.Graph
 	opt Options
 
 	pool *sched.Pool
+	// tq is the stripe-affine task layout for the scatter/resolve/zero
+	// phases and (statically fetched) the shadow merge; buTQ is the
+	// cache-blocked layout for bottom-up sweeps — same stripes, task size
+	// chosen so one task's state rows fit the LLC.
 	tq   *sched.TaskQueues
+	buTQ *sched.TaskQueues
+	// vBounds are the word-aligned stripe borders (len workers+1).
+	vBounds []int
 
 	// Arena bookkeeping: the engine the instance borrows from, whether the
 	// pool must be handed back on Close, and whether the whole shell
@@ -49,6 +65,13 @@ type MSPBFSEngine struct {
 	buf0  *bitset.State // frontier/next double buffer
 	buf1  *bitset.State
 	words int
+	// shadows is the worker-owned scatter substrate for the top-down
+	// phase; nil when Options.DisableSegments selects the shared-CAS path.
+	shadows *bitset.Shadows
+	// clean records that the state arrays are known all-zero (fresh
+	// construction or checkout scrub), letting the first batch skip its
+	// zeroing pass — on single-batch runs that pass was pure overhead.
+	clean bool
 	// mask is the reusable active-mask buffer (the per-batch replacement
 	// for State.FullMask, which allocates).
 	mask []uint64
@@ -59,6 +82,9 @@ type MSPBFSEngine struct {
 	frontVtx  []padCounter // vertices active in the produced frontier
 	frontDeg  []padCounter // degree sum of the produced frontier
 	unseenDeg []padCounter // degree newly removed from the unexplored set
+	// prefSink keeps the bottom-up lookahead loads observable so the
+	// compiler cannot dead-code them (software prefetch by hoisted load).
+	prefSink []padCounter
 
 	// Per-worker bottom-up scratch rows.
 	scratch [][]uint64
@@ -70,9 +96,30 @@ type MSPBFSEngine struct {
 	// BFS would force full neighbor scans for the rest of the run).
 	liveBits [][]uint64
 
+	// Phase bodies, bound once per shell so per-iteration phase dispatch
+	// allocates nothing; they read the ph* fields below, which the
+	// coordinating goroutine rebinds between barriers.
+	scatterBody    func(int, sched.Range)
+	casScatterBody func(int, sched.Range)
+	mergeBody      func(int, sched.Range)
+	resolveBody    func(int, sched.Range)
+	bottomUpBody   func(int, sched.Range)
+	zeroBody       func(int, sched.Range)
+
+	// Per-iteration phase state (written between barriers only).
+	phFrontier    *bitset.State
+	phNext        *bitset.State
+	phMask        []uint64
+	phLevels      [][]int32
+	phDepth       int32
+	phBatchOffset int
+
 	// Modeled NUMA placement (nil unless Options.Topology is set).
 	pageMap *numa.PageMap
 	tracker *numa.Tracker
+	// mergeFolded[owner] is per-shadow folded-word scratch for the modeled
+	// merge accounting (nil on untracked runs).
+	mergeFolded [][]int64
 }
 
 // NewMSPBFSEngine prepares an instance. Close must be called to hand the
@@ -82,13 +129,33 @@ func NewMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 	return newMSPBFSEngine(g, opt)
 }
 
+// cacheBlockedSplit returns the bottom-up task size in vertices: the
+// largest multiple of splitStride whose per-task working set — the
+// stripe's seen and next rows plus amortized frontier and adjacency
+// traffic — fits in half the last-level cache, floored at one stride.
+// Blocking the destination range keeps the stripe's state rows resident
+// across the whole neighbor scan (the "CSR stripe sized to LLC" design).
+func cacheBlockedSplit(words int) int {
+	perVertex := int64(3*8*words + 64) // seen+next+scratch rows + amortized adjacency/frontier line
+	v := numa.LLCBytes() / 2 / perVertex
+	v -= v % splitStride
+	if v < splitStride {
+		v = splitStride
+	}
+	const maxSplit = 1 << 20
+	if v > maxSplit {
+		v = maxSplit
+	}
+	return int(v)
+}
+
 func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 	n := g.NumVertices()
 	words := opt.batchWords()
 	eng := opt.engine()
 	pool, borrowed := opt.resolvePool(eng)
 	workers := pool.Workers()
-	key := msKey{n: n, words: words, split: opt.splitSize(), workers: workers}
+	key := msKey{n: n, words: words, split: opt.splitSize(), workers: workers, seg: !opt.DisableSegments}
 	recycle := opt.Topology.Sockets == 0
 
 	var e *MSPBFSEngine
@@ -100,14 +167,18 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 		// re-bind the run-specific references.
 		e.g, e.opt, e.pool = g, opt, pool
 	} else {
+		alloc := eng.slabAlloc(opt)
+		vBounds := numa.AlignedRanges(n, workers, splitStride)
 		e = &MSPBFSEngine{
 			g:         g,
 			opt:       opt,
 			pool:      pool,
-			tq:        sched.CreateTasks(n, opt.splitSize(), workers),
-			seen:      bitset.NewState(n, words),
-			buf0:      bitset.NewState(n, words),
-			buf1:      bitset.NewState(n, words),
+			tq:        sched.CreateStripeTasks(vBounds, opt.splitSize()),
+			buTQ:      sched.CreateStripeTasks(vBounds, cacheBlockedSplit(words)),
+			vBounds:   vBounds,
+			seen:      newPlacedState(n, words, alloc),
+			buf0:      newPlacedState(n, words, alloc),
+			buf1:      newPlacedState(n, words, alloc),
 			words:     words,
 			mask:      make([]uint64, words),
 			scanned:   make([]padCounter, workers),
@@ -115,8 +186,24 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 			frontVtx:  make([]padCounter, workers),
 			frontDeg:  make([]padCounter, workers),
 			unseenDeg: make([]padCounter, workers),
+			prefSink:  make([]padCounter, workers),
 			scratch:   make([][]uint64, workers),
 			liveBits:  make([][]uint64, workers),
+		}
+		if !opt.DisableSegments {
+			e.shadows = bitset.NewShadows(n*words, workers, alloc)
+		}
+		if opt.RealPlacement {
+			// Advise the kernel that each stripe belongs on its owner's
+			// node; the first-touch zeroing below does the actual faulting.
+			wBounds := make([]int, len(vBounds))
+			for i, b := range vBounds {
+				wBounds[i] = b * words
+			}
+			placer := eng.placer()
+			placer.Interleave(e.seen.Words(), wBounds)
+			placer.Interleave(e.buf0.Words(), wBounds)
+			placer.Interleave(e.buf1.Words(), wBounds)
 		}
 		for w := range e.scratch {
 			e.scratch[w] = make([]uint64, words)
@@ -124,6 +211,7 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 			// not false-share.
 			e.liveBits[w] = make([]uint64, words, words+8)
 		}
+		e.bindPhaseBodies()
 	}
 	e.eng, e.poolBorrowed, e.recycle, e.key, e.released = eng, borrowed, recycle, key, false
 
@@ -135,29 +223,50 @@ func newMSPBFSEngine(g *graph.Graph, opt Options) *MSPBFSEngine {
 		e.pageMap = numa.NewPageMap(opt.Topology, n, words*8)
 		e.pageMap.PlaceFirstTouch(e.tq)
 		e.tracker = numa.NewTracker(opt.Topology)
+		if e.shadows != nil {
+			// Per-owner scratch for per-shadow merge attribution: modeled
+			// runs charge only folded words (no-change merge reads are
+			// shareable and uncharged, matching the CAS path's convention).
+			e.mergeFolded = make([][]int64, workers)
+			for w := range e.mergeFolded {
+				e.mergeFolded[w] = make([]int64, workers-1)
+			}
+		}
 		if opt.Topology.Workers() == workers {
 			// NUMA-aware stealing: drain same-region queues before
 			// crossing sockets, so stolen tasks' data stays as local as
 			// the topology allows.
 			e.tq.SetStealOrder(numa.StealOrder(opt.Topology))
+			e.buTQ.SetStealOrder(numa.StealOrder(opt.Topology))
 		}
 	}
 
 	// Parallel first-touch initialization without stealing so the modeled
-	// placement matches which worker actually zeroes each range. For a
-	// recycled shell this pass doubles as the arena scrub: no bits survive
-	// from the previous run, however it ended.
+	// (and, under RealPlacement, the real) placement matches which worker
+	// owns each stripe. For a recycled shell this pass doubles as the
+	// arena scrub: no bits survive from the previous run, however it
+	// ended. It also marks the shell clean, so the first batch skips its
+	// zeroing pass instead of re-scrubbing fresh arrays.
 	e.tq.Reset()
-	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
-		e.seen.ZeroRange(r.Lo, r.Hi)
-		e.buf0.ZeroRange(r.Lo, r.Hi)
-		e.buf1.ZeroRange(r.Lo, r.Hi)
-	})
+	pool.ParallelForStatic(e.tq, e.zeroBody)
+	e.clean = true
 	if debugInvariants {
 		debugCheckBorrowedClean("MS-PBFS shell",
 			e.seen.CountAll()+e.buf0.CountAll()+e.buf1.CountAll())
+		if e.shadows != nil && !e.shadows.AllClear() {
+			panic("bfsdebug: MS-PBFS shadows dirty at checkout")
+		}
 	}
 	return e
+}
+
+// newPlacedState allocates a State, through the placement allocator when
+// one is wired (RealPlacement) and plainly otherwise.
+func newPlacedState(n, words int, alloc bitset.ShadowAlloc) *bitset.State {
+	if alloc == nil {
+		return bitset.NewState(n, words)
+	}
+	return bitset.NewStateFrom(n, words, alloc(n*words))
 }
 
 // Close hands the instance back to its engine: the worker pool returns to
@@ -222,14 +331,14 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 
 	start := time.Now()
 
-	// Reset state from any previous batch. The static no-steal loop keeps
-	// the modeled first-touch placement authoritative.
-	e.tq.Reset()
-	e.pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
-		e.seen.ZeroRange(r.Lo, r.Hi)
-		e.buf0.ZeroRange(r.Lo, r.Hi)
-		e.buf1.ZeroRange(r.Lo, r.Hi)
-	})
+	// Reset state from any previous batch (skipped when the constructor's
+	// first-touch scrub just ran). The static no-steal loop keeps the
+	// placement authoritative.
+	if !e.clean {
+		e.tq.Reset()
+		e.pool.ParallelForStatic(e.tq, e.zeroBody)
+	}
+	e.clean = false
 
 	frontier, next := e.buf0, e.buf1
 	activeMask := fillMask(e.mask, k)
@@ -267,22 +376,24 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 
 	// Overlay arcs count toward the unexplored-edge pool exactly as if they
 	// were already compacted into the CSR, so auto-direction decisions are
-	// identical between the overlay and compacted representations.
-	unexploredEdges := int64(len(g.Adjacency)) + ov.Arcs() - frontEdges
+	// identical between the overlay and compacted representations. The
+	// dirInputs carrier is the single place these sums happen — see the
+	// double-counting note on its definition.
+	var dir dirInputs
+	dir.seed(int64(len(g.Adjacency)), ov.Arcs(), frontVertices, frontEdges)
 
 	bottomUp := opt.Direction == BottomUpOnly
 	depth := int32(0)
 	var dirReason string
 
-	for frontVertices > 0 {
+	for dir.frontVertices > 0 {
 		if opt.MaxDepth > 0 && int(depth) >= opt.MaxDepth {
 			break
 		}
 		depth++
 		iterStart := time.Now()
 
-		bottomUp, dirReason = decideDirection(opt, bottomUp,
-			frontVertices, frontEdges, unexploredEdges, n)
+		bottomUp, dirReason = dir.decide(opt, bottomUp, n)
 
 		resetCounters(e.scanned)
 		resetCounters(e.updated)
@@ -318,15 +429,12 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 			dbgSeen = debugCheckBatchIteration(e.seen, next, dbgSeen, updated, "MS-PBFS", depth)
 		}
 		visited += updated
-		frontVertices = sumCounters(e.frontVtx)
-		frontEdges = sumCounters(e.frontDeg)
-		unexploredEdges -= sumCounters(e.unseenDeg)
-		if unexploredEdges < 0 {
-			unexploredEdges = 0
-		}
+		dir.applyIteration(e.frontVtx, e.frontDeg, e.unseenDeg)
 
+		rec.noteMerge(e.shadows)
+		rec.noteHeuristic(dir.frontEdges, dir.unexploredEdges)
 		rec.record(int(depth), time.Since(iterStart), busy,
-			frontVertices, updated, sumCounters(e.scanned), visited, bottomUp, dirReason,
+			dir.frontVertices, updated, sumCounters(e.scanned), visited, bottomUp, dirReason,
 			e.scanned, e.updated)
 
 		frontier, next = next, frontier
@@ -353,162 +461,352 @@ func (e *MSPBFSEngine) runBatch(batch []int, batchOffset int, res *MultiResult) 
 	}
 }
 
-// topDownIteration runs the two-phase parallel top-down step of
-// Section 3.1.1 and returns per-worker busy time (phase 1 + phase 2) when
-// requested.
-//
-//bfs:singlewriter phase 1 writes go through AtomicOrVertex; phase 2 touches each vertex row from exactly one worker, and live/acc are worker-local
-func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][]int32, depth int32, batchOffset int) []time.Duration {
-	g, opt := e.g, e.opt
-	ov := opt.Overlay
-	steal := !opt.DisableStealing
+// bindPhaseBodies builds the per-phase loop bodies once per shell. The
+// bodies read the ph* iteration state, so the per-iteration cost of a
+// phase is one queue reset and one barrier — no closure allocation.
+func (e *MSPBFSEngine) bindPhaseBodies() {
+	e.scatterBody = e.scatterTask
+	e.casScatterBody = e.casScatterTask
+	e.mergeBody = e.mergeTask
+	e.resolveBody = e.resolveTask
+	e.bottomUpBody = e.bottomUpTask
+	e.zeroBody = func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	}
+}
 
-	// Phase 1: aggregate reachability into next. The only phase with
-	// non-local writes: next[n] is merged via per-word CAS (Listing 1
-	// lines 1-4 with the CAS replacement of Section 3.1.1).
+// topDownIteration runs the parallel top-down step on the worker-owned
+// substrate: scatter into private shadows (plain stores), OR-merge at the
+// barrier (stripe owners, static fetch), then the usual single-writer
+// resolve sweep. With DisableSegments it falls back to the two-phase
+// shared-CAS structure of Section 3.1.1.
+//
+//bfs:singlewriter scatter writes go to worker-private shadows (or the canonical slab for worker 0); merge gives every word exactly one writer per stripe; resolve touches each vertex row from exactly one worker
+func (e *MSPBFSEngine) topDownIteration(frontier, next *bitset.State, levels [][]int32, depth int32, batchOffset int) []time.Duration {
+	steal := !e.opt.DisableStealing
+	e.phFrontier, e.phNext, e.phLevels, e.phDepth, e.phBatchOffset = frontier, next, levels, depth, batchOffset
+
+	// Phase 1: scatter frontier rows toward neighbors.
+	var busy1, busyM []time.Duration
+	if e.shadows == nil {
+		e.tq.Reset()
+		busy1 = e.runPhase(e.tq, steal, e.casScatterBody)
+	} else {
+		e.tq.Reset()
+		busy1 = e.runPhase(e.tq, steal, e.scatterBody)
+		// Publish at the barrier: stripe owners fold every shadow into the
+		// canonical next. Static fetch confines each worker to its own
+		// stripe — the single-writer guarantee of the merge.
+		if e.shadows.Workers() > 1 {
+			e.tq.Reset()
+			busyM = e.runPhase(e.tq, false, e.mergeBody)
+		}
+	}
+
+	// Phase 2: identify newly discovered vertices (Listing 1 lines 6-11).
 	e.tq.Reset()
-	busy1 := e.runPhase(steal, func(workerID int, r sched.Range) {
-		scanned := &e.scanned[workerID]
+	busy2 := e.runPhase(e.tq, steal, e.resolveBody)
+
+	return sumBusy(sumBusy(busy1, busyM), busy2)
+}
+
+// scatterTask is the segmented top-down scatter: the worker merges each
+// frontier vertex's row into its private shadow (worker 0: the canonical
+// next) with plain stores. No atomics anywhere on this path — the vet
+// gate below proves it stays that way.
+//
+//bfs:nocas
+//bfs:singlewriter the target slab has exactly one writer for the phase's lifetime
+func (e *MSPBFSEngine) scatterTask(workerID int, r sched.Range) {
+	g, ov := e.g, e.opt.Overlay
+	frontier := e.phFrontier
+	scanned := &e.scanned[workerID]
+	tgt := e.shadows.Writer(workerID, e.phNext.Words())
+	if e.words == 1 {
+		// Fast path for the common 64-BFS configuration: single-word rows
+		// indexed straight off the slabs, no per-vertex row slicing.
+		fw := frontier.Words()
 		//bfs:hot phase 1 frontier scan: runs per vertex per iteration, must not allocate
 		for v := r.Lo; v < r.Hi; v++ {
-			if !frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+			w := fw[v] //bfs:bounds-ok v < n by task construction; slab is n words at stride 1
+			if w == 0 {
 				continue
 			}
-			row := frontier.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
 			nbrs := g.Neighbors(v) //bfs:bounds-ok CSR offsets are monotone and sized n+1 by Builder
 			scanned.v += int64(len(nbrs))
-			if e.tracker == nil {
-				for _, nb := range nbrs {
-					next.AtomicOrVertex(int(nb), row)
-				}
-			} else {
-				// Model phase 1's scattered writes: only merges that change
-				// the bitset dirty a cache line; no-change merges are pure
-				// (shareable) reads and are not charged.
-				for _, nb := range nbrs {
-					if next.AtomicOrVertex(int(nb), row) {
-						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
-					}
-				}
+			for _, nb := range nbrs {
+				tgt[nb] |= w //bfs:bounds-ok neighbor ids < n by CSR construction; slab is n words
 			}
 			if ov != nil {
 				// Fused overlay scan: the not-yet-compacted extra neighbors
-				// push through the same CAS merge as the CSR run above.
+				// merge into the same private slab.
 				for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
 					scanned.v++
-					if next.AtomicOrVertex(int(nb), row) && e.tracker != nil {
-						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
-					}
+					tgt[nb] |= w //bfs:bounds-ok overlay endpoints < n by ingest validation
+				}
+			}
+			if e.tracker != nil {
+				// Shadow writes are region-local by construction — the
+				// whole point of the worker-owned substrate.
+				e.tracker.RecordLocalN(workerID, int64(len(nbrs))) //bfs:bounds-ok inlined t.local[worker]; workerID < Workers by pool construction, tracker sized to the worker count
+			}
+		}
+		return
+	}
+	stride := e.words
+	//bfs:hot phase 1 frontier scan (wide rows): runs per vertex per iteration, must not allocate
+	for v := r.Lo; v < r.Hi; v++ {
+		if !frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+			continue
+		}
+		row := frontier.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		nbrs := g.Neighbors(v) //bfs:bounds-ok CSR offsets are monotone and sized n+1 by Builder
+		scanned.v += int64(len(nbrs))
+		for _, nb := range nbrs {
+			off := int(nb) * stride
+			for i := 0; i < stride; i++ {
+				tgt[off+i] |= row[i] //bfs:bounds-ok off+stride <= n*stride for nb < n; row sized stride
+			}
+		}
+		if ov != nil {
+			for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+				scanned.v++
+				off := int(nb) * stride
+				for i := 0; i < stride; i++ {
+					tgt[off+i] |= row[i] //bfs:bounds-ok off+stride <= n*stride for nb < n; row sized stride
 				}
 			}
 		}
-	})
-
-	// Phase 2: identify newly discovered vertices (Listing 1 lines 6-11).
-	// Each vertex is touched by exactly one worker, so no synchronization;
-	// frontier entries are cleared in place so the arrays can swap roles
-	// without a separate memset.
-	e.tq.Reset()
-	busy2 := e.runPhase(steal, func(workerID int, r sched.Range) {
-		upd := &e.updated[workerID]
-		fv := &e.frontVtx[workerID]
-		fd := &e.frontDeg[workerID]
-		ud := &e.unseenDeg[workerID]
-		live := e.liveBits[workerID]
 		if e.tracker != nil {
-			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+			e.tracker.RecordLocalN(workerID, int64(len(nbrs))) //bfs:bounds-ok inlined t.local[worker]; workerID < Workers by pool construction, tracker sized to the worker count
 		}
-		//bfs:hot phase 2 resolution sweep: runs per vertex per iteration, must not allocate
-		for v := r.Lo; v < r.Hi; v++ {
-			if frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
-				frontier.ZeroVertex(v) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
-			}
-			if !next.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
-				continue
-			}
-			nRow := next.Row(v)   //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
-			sRow := e.seen.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
-			if len(sRow) < len(nRow) || len(live) < len(nRow) {
-				// BCE hint: pins the row strides so the merge loops below
-				// compile without per-word bounds checks (bfsgate contract).
-				panic("mspbfs: row stride mismatch")
-			}
-			anyNew := uint64(0)
-			for i := range nRow {
-				nw := nRow[i] &^ sRow[i]
-				if nw != nRow[i] {
-					nRow[i] = nw
-				}
-				sRow[i] |= nw
-				anyNew |= nw
-			}
-			if anyNew == 0 {
-				continue
-			}
-			newBits := 0
-			for i := range nRow {
-				newBits += onesCount(nRow[i])
-				live[i] |= nRow[i]
-			}
-			upd.v += int64(newBits)
-			fv.v++
-			d := int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
-			if ov != nil {
-				d += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-			}
-			fd.v += d
-			ud.v += d
-			if levels != nil || opt.OnVisit != nil {
-				e.emitVisits(workerID, v, nRow, levels, depth, batchOffset)
-			}
-		}
-	})
-
-	return sumBusy(busy1, busy2)
+	}
 }
 
-// bottomUpIteration runs the parallel bottom-up step of Section 3.1.2.
+// casScatterTask is the pre-segmentation scatter kept for A/B equivalence
+// and ablation (Options.DisableSegments): aggregate reachability into the
+// shared next via per-word CAS (Listing 1 lines 1-4 with the CAS
+// replacement of Section 3.1.1).
+func (e *MSPBFSEngine) casScatterTask(workerID int, r sched.Range) {
+	g, ov := e.g, e.opt.Overlay
+	frontier, next := e.phFrontier, e.phNext
+	scanned := &e.scanned[workerID]
+	//bfs:hot phase 1 frontier scan: runs per vertex per iteration, must not allocate
+	for v := r.Lo; v < r.Hi; v++ {
+		if !frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+			continue
+		}
+		row := frontier.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		nbrs := g.Neighbors(v) //bfs:bounds-ok CSR offsets are monotone and sized n+1 by Builder
+		scanned.v += int64(len(nbrs))
+		if e.tracker == nil {
+			for _, nb := range nbrs {
+				next.AtomicOrVertex(int(nb), row)
+			}
+		} else {
+			// Model phase 1's scattered writes: only merges that change
+			// the bitset dirty a cache line; no-change merges are pure
+			// (shareable) reads and are not charged.
+			for _, nb := range nbrs {
+				if next.AtomicOrVertex(int(nb), row) {
+					e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+				}
+			}
+		}
+		if ov != nil {
+			for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+				scanned.v++
+				if next.AtomicOrVertex(int(nb), row) && e.tracker != nil {
+					e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+				}
+			}
+		}
+	}
+}
+
+// mergeTask publishes one stripe sub-range: the owner (static fetch makes
+// workerID the stripe owner) folds every worker's shadow words into the
+// canonical next and zeroes them. Plain stores only.
+//
+//bfs:nocas
+//bfs:singlewriter stripe owner is the only writer of its canonical and shadow words between barriers
+func (e *MSPBFSEngine) mergeTask(workerID int, r sched.Range) {
+	stride := e.words
+	canon := e.phNext.Words()
+	if e.tracker == nil {
+		e.shadows.MergeRange(workerID, canon, r.Lo*stride, r.Hi*stride)
+		return
+	}
+	counts := e.mergeFolded[workerID]
+	for i := range counts {
+		counts[i] = 0
+	}
+	folded := e.shadows.MergeRangeCounts(workerID, canon, r.Lo*stride, r.Hi*stride, counts)
+	// Canonical stripe writes are local by first-touch; a shadow read
+	// crosses regions when the shadow's writer lives elsewhere. Only
+	// folded words are charged — a no-change merge read is shareable and
+	// uncharged, the same convention the CAS scatter's tracker branch
+	// applies to no-change CAS merges.
+	e.tracker.RecordLocalN(workerID, folded)
+	for sw := 1; sw < e.shadows.Workers(); sw++ {
+		e.tracker.RecordShadowMerge(workerID, sw, counts[sw-1])
+	}
+}
+
+// resolveTask is phase 2: identify newly discovered vertices. Each vertex
+// is touched by exactly one worker, so no synchronization; frontier
+// entries are cleared in place so the arrays can swap roles without a
+// separate memset.
+//
+//bfs:nocas
+//bfs:singlewriter each vertex row is read and written by the one worker that owns its range; live is worker-local scratch
+func (e *MSPBFSEngine) resolveTask(workerID int, r sched.Range) {
+	g, opt := e.g, e.opt
+	ov := opt.Overlay
+	frontier, next := e.phFrontier, e.phNext
+	levels := e.phLevels
+	upd := &e.updated[workerID]
+	fv := &e.frontVtx[workerID]
+	fd := &e.frontDeg[workerID]
+	ud := &e.unseenDeg[workerID]
+	live := e.liveBits[workerID]
+	if e.tracker != nil {
+		e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+	}
+	//bfs:hot phase 2 resolution sweep: runs per vertex per iteration, must not allocate
+	for v := r.Lo; v < r.Hi; v++ {
+		if frontier.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+			frontier.ZeroVertex(v) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
+		}
+		if !next.Any(v) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+			continue
+		}
+		nRow := next.Row(v)   //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		sRow := e.seen.Row(v) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		if len(sRow) < len(nRow) || len(live) < len(nRow) {
+			// BCE hint: pins the row strides so the merge loops below
+			// compile without per-word bounds checks (bfsgate contract).
+			panic("mspbfs: row stride mismatch")
+		}
+		anyNew := uint64(0)
+		for i := range nRow {
+			nw := nRow[i] &^ sRow[i]
+			if nw != nRow[i] {
+				nRow[i] = nw
+			}
+			sRow[i] |= nw
+			anyNew |= nw
+		}
+		if anyNew == 0 {
+			continue
+		}
+		newBits := 0
+		for i := range nRow {
+			newBits += onesCount(nRow[i])
+			live[i] |= nRow[i]
+		}
+		upd.v += int64(newBits)
+		fv.v++
+		d := int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+		if ov != nil {
+			d += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+		}
+		fd.v += d
+		ud.v += d
+		if levels != nil || opt.OnVisit != nil {
+			e.emitVisits(workerID, v, nRow, levels, e.phDepth, e.phBatchOffset)
+		}
+	}
+}
+
+// bottomUpIteration runs the parallel bottom-up step of Section 3.1.2 over
+// the cache-blocked stripe layout.
 //
 //bfs:singlewriter each unseen vertex row is read and written by the one worker that owns its range; acc/live are worker-local scratch
 func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMask []uint64, levels [][]int32, depth int32, batchOffset int) []time.Duration {
+	steal := !e.opt.DisableStealing
+	e.phFrontier, e.phNext, e.phMask = frontier, next, activeMask
+	e.phLevels, e.phDepth, e.phBatchOffset = levels, depth, batchOffset
+	e.buTQ.Reset()
+	return e.runPhase(e.buTQ, steal, e.bottomUpBody)
+}
+
+// bottomUpLookahead is how many adjacency entries ahead the stride-1
+// bottom-up loop touches the frontier word of an upcoming neighbor — a
+// software prefetch expressed as a hoisted load (Go has no prefetch
+// intrinsic), kept observable through prefSink.
+const bottomUpLookahead = 8
+
+// bottomUpTask scans one destination stripe. For single-word rows it runs
+// the branchless Listing-2 inner loop: a 4-wide unrolled OR-accumulate
+// over the frontier words of the vertex's neighbors — four independent
+// loads in flight, no per-edge branch — with the early exit checked once
+// per unrolled group, plus a lookahead touch of the frontier word needed
+// bottomUpLookahead edges later.
+//
+//bfs:nocas
+//bfs:singlewriter each unseen vertex row is read and written by the one worker that owns its range; acc/live are worker-local scratch
+func (e *MSPBFSEngine) bottomUpTask(workerID int, r sched.Range) {
 	g, opt := e.g, e.opt
 	ov := opt.Overlay
-	steal := !opt.DisableStealing
 	earlyExit := !opt.DisableEarlyExit
-
-	e.tq.Reset()
-	busy := e.runPhase(steal, func(workerID int, r sched.Range) {
-		scanned := &e.scanned[workerID]
-		upd := &e.updated[workerID]
-		fv := &e.frontVtx[workerID]
-		fd := &e.frontDeg[workerID]
-		ud := &e.unseenDeg[workerID]
-		acc := e.scratch[workerID]
-		live := e.liveBits[workerID]
-		if e.tracker != nil {
-			e.tracker.RecordRange(e.pageMap, workerID, r.Lo, r.Hi)
+	frontier, next, activeMask := e.phFrontier, e.phNext, e.phMask
+	levels := e.phLevels
+	scanned := &e.scanned[workerID]
+	upd := &e.updated[workerID]
+	fv := &e.frontVtx[workerID]
+	fd := &e.frontDeg[workerID]
+	ud := &e.unseenDeg[workerID]
+	live := e.liveBits[workerID]
+	if e.tracker != nil {
+		e.tracker.RecordRange(e.pageMap, workerID, r.Lo, r.Hi)
+	}
+	if e.words == 1 {
+		e.bottomUpTaskNarrow(workerID, r)
+		return
+	}
+	acc := e.scratch[workerID]
+	//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
+	for u := r.Lo; u < r.Hi; u++ {
+		sRow := e.seen.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		if coversMask(sRow, activeMask) {
+			// Fully seen: just scrub any stale next bits so the buffer
+			// swap stays exact (see the buffer-reuse discussion in the
+			// package tests).
+			if next.Any(u) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
+				next.ZeroVertex(u) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
+			}
+			continue
 		}
-		//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
-		for u := r.Lo; u < r.Hi; u++ {
-			sRow := e.seen.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
-			if coversMask(sRow, activeMask) {
-				// Fully seen: just scrub any stale next bits so the buffer
-				// swap stays exact (see the buffer-reuse discussion in the
-				// package tests).
-				if next.Any(u) { //bfs:bounds-ok inlined row indexing; stride invariant held by State
-					next.ZeroVertex(u) //bfs:bounds-ok inlined row zeroing; stride invariant held by State
-				}
-				continue
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			scanned.v++
+			fRow := frontier.Row(int(v)) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+			if len(fRow) < len(acc) {
+				// BCE hint: pins the row stride so the merge below
+				// compiles without per-word bounds checks (bfsgate).
+				panic("mspbfs: row stride mismatch")
 			}
 			for i := range acc {
-				acc[i] = 0
+				acc[i] |= fRow[i]
 			}
-			for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			if earlyExit && coversPair(sRow, acc, activeMask) {
+				break
+			}
+		}
+		if ov != nil && !(earlyExit && coversPair(sRow, acc, activeMask)) {
+			// Fused overlay scan: extra neighbors accumulate into the
+			// same acc row, with the same early exit once every live BFS
+			// bit is covered.
+			for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
 				scanned.v++
 				fRow := frontier.Row(int(v)) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
 				if len(fRow) < len(acc) {
-					// BCE hint: pins the row stride so the merge below
-					// compiles without per-word bounds checks (bfsgate).
+					// BCE hint: see the CSR loop above.
 					panic("mspbfs: row stride mismatch")
 				}
 				for i := range acc {
@@ -518,71 +816,145 @@ func (e *MSPBFSEngine) bottomUpIteration(frontier, next *bitset.State, activeMas
 					break
 				}
 			}
-			if ov != nil && !(earlyExit && coversPair(sRow, acc, activeMask)) {
-				// Fused overlay scan: extra neighbors accumulate into the
-				// same acc row, with the same early exit once every live BFS
-				// bit is covered.
-				for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-					scanned.v++
-					fRow := frontier.Row(int(v)) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
-					if len(fRow) < len(acc) {
-						// BCE hint: see the CSR loop above.
-						panic("mspbfs: row stride mismatch")
-					}
-					for i := range acc {
-						acc[i] |= fRow[i]
-					}
-					if earlyExit && coversPair(sRow, acc, activeMask) {
-						break
-					}
+		}
+		nRow := next.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
+		if len(sRow) < len(acc) || len(nRow) < len(acc) || len(live) < len(nRow) {
+			// BCE hint: pins the row strides so the resolution loops
+			// below compile without per-word bounds checks (bfsgate).
+			panic("mspbfs: row stride mismatch")
+		}
+		anyNew := uint64(0)
+		for i := range acc {
+			nw := acc[i] &^ sRow[i]
+			nRow[i] = nw
+			sRow[i] |= nw
+			anyNew |= nw
+		}
+		if anyNew == 0 {
+			continue
+		}
+		newBits := 0
+		for i := range nRow {
+			newBits += onesCount(nRow[i])
+			live[i] |= nRow[i]
+		}
+		upd.v += int64(newBits)
+		fv.v++
+		d := int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+		if ov != nil {
+			d += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+		}
+		fd.v += d
+		ud.v += d
+		if levels != nil || opt.OnVisit != nil {
+			e.emitVisits(workerID, u, nRow, levels, e.phDepth, e.phBatchOffset)
+		}
+	}
+}
+
+// bottomUpTaskNarrow is the stride-1 specialization of bottomUpTask: rows
+// are single words indexed straight off the slabs, the inner loop is the
+// unrolled branchless accumulate described on bottomUpTask, and the early
+// exit compares plain words.
+//
+//bfs:nocas
+//bfs:singlewriter each destination word is read and written by the one worker that owns its range
+func (e *MSPBFSEngine) bottomUpTaskNarrow(workerID int, r sched.Range) {
+	g, opt := e.g, e.opt
+	ov := opt.Overlay
+	earlyExit := !opt.DisableEarlyExit
+	fw := e.phFrontier.Words()
+	nw := e.phNext.Words()
+	sw := e.seen.Words()
+	mask := e.phMask[0]
+	levels := e.phLevels
+	scanned := &e.scanned[workerID]
+	upd := &e.updated[workerID]
+	fv := &e.frontVtx[workerID]
+	fd := &e.frontDeg[workerID]
+	ud := &e.unseenDeg[workerID]
+	live := e.liveBits[workerID]
+	var pref uint64
+	//bfs:hot bottom-up sweep (single word): runs per vertex per iteration, must not allocate
+	for u := r.Lo; u < r.Hi; u++ {
+		seen := sw[u] //bfs:bounds-ok u < n by task construction; slab is n words at stride 1
+		need := mask &^ seen
+		if need == 0 {
+			if nw[u] != 0 { //bfs:bounds-ok u < n by task construction
+				nw[u] = 0
+			}
+			continue
+		}
+		nbrs := g.Neighbors(u) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+		var acc uint64
+		i, ln := 0, len(nbrs)
+		if earlyExit {
+			for ; i+4 <= ln; i += 4 {
+				if i+bottomUpLookahead < ln {
+					pref |= fw[nbrs[i+bottomUpLookahead]] //bfs:bounds-ok neighbor ids < n by CSR construction
+				}
+				// Branchless 4-wide OR-accumulate: four independent loads
+				// per step, one early-exit test per group instead of per
+				// edge.
+				acc |= fw[nbrs[i]] | fw[nbrs[i+1]] | fw[nbrs[i+2]] | fw[nbrs[i+3]] //bfs:bounds-ok neighbor ids < n by CSR construction
+				if acc&need == need {
+					i += 4
+					break
 				}
 			}
-			nRow := next.Row(u) //bfs:bounds-ok row slice from the vertex index; State sizes words to n*stride
-			if len(sRow) < len(acc) || len(nRow) < len(acc) || len(live) < len(nRow) {
-				// BCE hint: pins the row strides so the resolution loops
-				// below compile without per-word bounds checks (bfsgate).
-				panic("mspbfs: row stride mismatch")
+			if acc&need != need {
+				for ; i < ln; i++ {
+					acc |= fw[nbrs[i]] //bfs:bounds-ok neighbor ids < n by CSR construction
+				}
 			}
-			anyNew := uint64(0)
-			for i := range acc {
-				nw := acc[i] &^ sRow[i]
-				nRow[i] = nw
-				sRow[i] |= nw
-				anyNew |= nw
-			}
-			if anyNew == 0 {
-				continue
-			}
-			newBits := 0
-			for i := range nRow {
-				newBits += onesCount(nRow[i])
-				live[i] |= nRow[i]
-			}
-			upd.v += int64(newBits)
-			fv.v++
-			d := int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
-			if ov != nil {
-				d += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-			}
-			fd.v += d
-			ud.v += d
-			if levels != nil || opt.OnVisit != nil {
-				e.emitVisits(workerID, u, nRow, levels, depth, batchOffset)
+		} else {
+			for ; i < ln; i++ {
+				acc |= fw[nbrs[i]] //bfs:bounds-ok neighbor ids < n by CSR construction
 			}
 		}
-	})
-	return busy
+		scanned.v += int64(i)
+		if ov != nil && !(earlyExit && acc&need == need) {
+			for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+				scanned.v++
+				acc |= fw[v] //bfs:bounds-ok overlay endpoints < n by ingest validation
+				if earlyExit && acc&need == need {
+					break
+				}
+			}
+		}
+		newBits := acc & need
+		nw[u] = newBits //bfs:bounds-ok u < n by task construction
+		if newBits == 0 {
+			continue
+		}
+		sw[u] = seen | newBits //bfs:bounds-ok u < n by task construction
+		live[0] |= newBits
+		upd.v += int64(onesCount(newBits))
+		fv.v++
+		d := int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+		if ov != nil {
+			d += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+		}
+		fd.v += d
+		ud.v += d
+		if levels != nil || opt.OnVisit != nil {
+			e.emitVisitsNarrow(workerID, u, newBits, levels)
+		}
+	}
+	// Keep the lookahead loads observable (one store per task, not per
+	// edge) so the compiler cannot eliminate the prefetch.
+	e.prefSink[workerID].v = int64(pref)
 }
 
 // runPhase executes one parallel loop, with or without per-worker timing.
-func (e *MSPBFSEngine) runPhase(steal bool, body func(workerID int, r sched.Range)) []time.Duration {
+func (e *MSPBFSEngine) runPhase(tq *sched.TaskQueues, steal bool, body func(workerID int, r sched.Range)) []time.Duration {
 	if e.opt.PerWorkerTiming {
-		return e.pool.ParallelForTimed(e.tq, steal, body)
+		return e.pool.ParallelForTimed(tq, steal, body)
 	}
 	if steal {
-		e.pool.ParallelFor(e.tq, body)
+		e.pool.ParallelFor(tq, body)
 	} else {
-		e.pool.ParallelForStatic(e.tq, body)
+		e.pool.ParallelForStatic(tq, body)
 	}
 	return nil
 }
@@ -600,6 +972,19 @@ func (e *MSPBFSEngine) emitVisits(workerID, v int, newRow []uint64, levels [][]i
 			if e.opt.OnVisit != nil {
 				e.opt.OnVisit(workerID, batchOffset+i, v, int(depth))
 			}
+		}
+	}
+}
+
+// emitVisitsNarrow is emitVisits for single-word rows.
+func (e *MSPBFSEngine) emitVisitsNarrow(workerID, v int, w uint64, levels [][]int32) {
+	for ; w != 0; w &= w - 1 {
+		i := trailingZeros64(w)
+		if levels != nil && i < len(levels) {
+			levels[i][v] = e.phDepth
+		}
+		if e.opt.OnVisit != nil {
+			e.opt.OnVisit(workerID, e.phBatchOffset+i, v, int(e.phDepth))
 		}
 	}
 }

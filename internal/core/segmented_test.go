@@ -1,0 +1,211 @@
+package core
+
+// Worker-owned frontier substrate tests: the segmented scatter->merge
+// protocol (bitset.Shadows) must be observationally identical to the CAS
+// path it replaced, under every worker count, state representation,
+// relabeling scheme and overlay configuration — and its barrier OR-merge
+// must publish every shadow bit exactly once under the race detector.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/obs"
+)
+
+// TestSegmentedMatchesCAS runs MS-PBFS and SMS-PBFS with the worker-owned
+// segments enabled (default) and disabled (CAS fallback) and requires
+// bit-identical levels and visit counts. Workers>1 is the interesting
+// case: it is the only configuration where the shadow slabs and the
+// barrier merge actually run.
+func TestSegmentedMatchesCAS(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 6))
+	sources := RandomSources(g, 64, 17)
+
+	for _, workers := range []int{1, 3, 8} {
+		for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+			t.Run(fmt.Sprintf("workers=%d/dir=%d", workers, dir), func(t *testing.T) {
+				opt := Options{Workers: workers, BatchWords: 1, Direction: dir, RecordLevels: true}
+				casOpt := opt
+				casOpt.DisableSegments = true
+
+				seg := MSPBFS(g, sources, opt)
+				cas := MSPBFS(g, sources, casOpt)
+				if seg.VisitedStates != cas.VisitedStates {
+					t.Fatalf("MS-PBFS visited %d segmented, %d CAS", seg.VisitedStates, cas.VisitedStates)
+				}
+				for i := range sources {
+					if !reflect.DeepEqual(seg.Levels[i], cas.Levels[i]) {
+						t.Fatalf("MS-PBFS levels diverge for source %d", sources[i])
+					}
+				}
+
+				for _, repr := range []StateRepr{BitState, ByteState} {
+					segS := SMSPBFS(g, sources[0], repr, opt)
+					casS := SMSPBFS(g, sources[0], repr, casOpt)
+					if segS.VisitedVertices != casS.VisitedVertices {
+						t.Fatalf("SMS-PBFS/%s visited %d segmented, %d CAS",
+							repr, segS.VisitedVertices, casS.VisitedVertices)
+					}
+					if !reflect.DeepEqual(segS.Levels, casS.Levels) {
+						t.Fatalf("SMS-PBFS/%s levels diverge", repr)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSegmentedOverlayMatchesCAS repeats the equality over the fused
+// overlay path: the segmented scatter folds overlay arcs into the same
+// worker-private slabs, so the overlay x segments product gets its own
+// equivalence run.
+func TestSegmentedOverlayMatchesCAS(t *testing.T) {
+	base, ov, compacted := splitGraphOverlay(700, 2200, 99)
+	sources := []int{0, 3, 99, 500, 699, 123, 321, 7}
+
+	opt := Options{Workers: 4, BatchWords: 1, RecordLevels: true, Overlay: ov}
+	casOpt := opt
+	casOpt.DisableSegments = true
+	plain := Options{Workers: 4, BatchWords: 1, RecordLevels: true}
+
+	seg := MSPBFS(base, sources, opt)
+	cas := MSPBFS(base, sources, casOpt)
+	want := MSPBFS(compacted, sources, plain)
+	for i := range sources {
+		if !reflect.DeepEqual(seg.Levels[i], cas.Levels[i]) {
+			t.Fatalf("fused MS-PBFS levels diverge segmented vs CAS for source %d", sources[i])
+		}
+		if !reflect.DeepEqual(seg.Levels[i], want.Levels[i]) {
+			t.Fatalf("fused segmented MS-PBFS diverges from compacted for source %d", sources[i])
+		}
+	}
+}
+
+// TestSegmentedMergeRaceStress drives the scatter->merge hand-off hard:
+// many workers, wide batches, repeated rounds so interleavings vary. Under
+// -race this is the test that gives the detector its shots at the phase
+// barrier between the plain-store scatter and the owner-striped OR-merge;
+// under the normal build the reference comparison catches any bit lost or
+// published twice (a double-published shadow word would resurrect an
+// already-seen state and inflate VisitedStates).
+func TestSegmentedMergeRaceStress(t *testing.T) {
+	g := gen.Uniform(3000, 7, 5)
+	sources := RandomSources(g, 128, 23)
+	want := make([][]int32, len(sources))
+	for i, src := range sources {
+		want[i] = ReferenceLevels(g, src)
+	}
+
+	for round := 0; round < 6; round++ {
+		res := MSPBFS(g, sources, Options{Workers: 8, BatchWords: 2, SplitSize: 512, RecordLevels: true})
+		for i, src := range res.Sources {
+			levelsEqual(t, fmt.Sprintf("merge stress round %d src=%d", round, src), res.Levels[i], want[i])
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for _, repr := range []StateRepr{BitState, ByteState} {
+			res := SMSPBFS(g, sources[0], repr, Options{Workers: 8, SplitSize: 512, RecordLevels: true})
+			levelsEqual(t, fmt.Sprintf("sms merge stress round %d %s", round, repr), res.Levels, want[0])
+		}
+	}
+}
+
+// TestSegmentedRelabelingMetamorphic re-runs the relabeling metamorphic
+// property over the segmented kernels specifically: for every labeling
+// scheme, distances must survive the permutation AND the segmented and
+// CAS paths must agree on the relabeled graph. Relabeling changes which
+// worker stripe owns which vertex, so this walks the merge protocol
+// through entirely different ownership layouts of the same traversal.
+func TestSegmentedRelabelingMetamorphic(t *testing.T) {
+	g := gen.Kronecker(gen.Graph500Params(9, 12))
+	src := RandomSources(g, 1, 31)[0]
+	want := ReferenceLevels(g, src)
+
+	for _, scheme := range []label.Scheme{label.Random, label.DegreeOrdered, label.Striped} {
+		relabeled, perm := label.Apply(g, scheme, label.Params{Workers: 4, TaskSize: 512, Seed: 19})
+		opt := Options{Workers: 4, BatchWords: 1, RecordLevels: true}
+		casOpt := opt
+		casOpt.DisableSegments = true
+
+		seg := MSPBFS(relabeled, []int{int(perm[src])}, opt)
+		cas := MSPBFS(relabeled, []int{int(perm[src])}, casOpt)
+		if !reflect.DeepEqual(seg.Levels[0], cas.Levels[0]) {
+			t.Fatalf("%v labeling: segmented and CAS MS-PBFS diverge", scheme)
+		}
+		for v := range want {
+			if seg.Levels[0][perm[v]] != want[v] {
+				t.Fatalf("%v labeling: vertex %d level %d, want %d",
+					scheme, v, seg.Levels[0][perm[v]], want[v])
+			}
+		}
+
+		segS := SMSPBFS(relabeled, int(perm[src]), BitState, opt)
+		casS := SMSPBFS(relabeled, int(perm[src]), BitState, casOpt)
+		if !reflect.DeepEqual(segS.Levels, casS.Levels) {
+			t.Fatalf("%v labeling: segmented and CAS SMS-PBFS diverge", scheme)
+		}
+	}
+}
+
+// dirInputRecords runs a traced Auto MS-PBFS and returns the per-iteration
+// flight records carrying the decideDirection input vector.
+func dirInputRecords(t *testing.T, g *graph.Graph, sources []int, ov *graph.Overlay) []obs.IterationRecord {
+	t.Helper()
+	tr := obs.NewTracer()
+	MSPBFS(g, sources, Options{
+		Workers:          3,
+		BatchWords:       1,
+		Direction:        Auto,
+		CollectIterStats: true,
+		Tracer:           tr,
+		Overlay:          ov,
+	})
+	snap := tr.Snapshot()
+	if len(snap.Traversals) != 1 {
+		t.Fatalf("got %d traversals, want 1", len(snap.Traversals))
+	}
+	return snap.Traversals[0].Iterations
+}
+
+// TestDirectionInputsFusedVsCompacted pins the direction heuristic's full
+// input vector — frontier states, frontier edges, unexplored edges —
+// between a fused (CSR + overlay) run and the equivalent compacted-CSR
+// run, iteration by iteration. This is the regression test for the
+// overlay double-counting hazard: frontier degrees must count each CSR
+// edge and each overlay arc exactly once, and the unexplored-edge budget
+// must be seeded with both layers' arcs exactly once, or the alpha/beta
+// switch points drift between a dynamic graph and its compaction.
+func TestDirectionInputsFusedVsCompacted(t *testing.T) {
+	base, ov, compacted := splitGraphOverlay(900, 3600, 4242)
+	sources := []int{0, 7, 99, 500, 899, 123, 321, 650}
+
+	fused := dirInputRecords(t, base, sources, ov)
+	plain := dirInputRecords(t, compacted, sources, nil)
+
+	if len(fused) != len(plain) {
+		t.Fatalf("iteration counts diverge: fused %d, compacted %d", len(fused), len(plain))
+	}
+	sawBottomUp := false
+	for i := range fused {
+		f, p := fused[i], plain[i]
+		if f.BottomUp != p.BottomUp || f.Reason != p.Reason {
+			t.Errorf("iteration %d: direction %v(%q) fused vs %v(%q) compacted",
+				i+1, f.BottomUp, f.Reason, p.BottomUp, p.Reason)
+		}
+		if f.Frontier != p.Frontier || f.FrontierEdges != p.FrontierEdges ||
+			f.UnexploredEdges != p.UnexploredEdges {
+			t.Errorf("iteration %d: heuristic inputs diverge: fused (%d,%d,%d) vs compacted (%d,%d,%d)",
+				i+1, f.Frontier, f.FrontierEdges, f.UnexploredEdges,
+				p.Frontier, p.FrontierEdges, p.UnexploredEdges)
+		}
+		sawBottomUp = sawBottomUp || f.BottomUp
+	}
+	if !sawBottomUp {
+		t.Fatalf("workload never switched bottom-up; the equivalence proved nothing about the switch points")
+	}
+}

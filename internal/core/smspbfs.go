@@ -56,6 +56,12 @@ type vertexSet interface {
 	ChunkWords() []uint64
 	// ChunkSize is the number of vertices per backing word.
 	ChunkSize() int
+	// Mark sets vertex v in a raw word slab laid out like ChunkWords —
+	// the plain-store counterpart of AtomicSet, used by the segmented
+	// scatter to write worker-private shadow slabs. Both representations
+	// encode marks so that word-level OR merges slabs correctly (bit: one
+	// bit per vertex; byte: bytes only ever hold 0 or 1).
+	Mark(slab []uint64, v int)
 	// Count returns the number of marked vertices (used by the bfsdebug
 	// invariant layer).
 	Count() int
@@ -67,10 +73,24 @@ type bitSet struct{ *bitset.Bitmap }
 func (b bitSet) ChunkWords() []uint64 { return b.Words() }
 func (b bitSet) ChunkSize() int       { return 64 }
 
+// Mark sets v's bit in slab with a plain store.
+//
+//bfs:singlewriter called only from the segmented scatter, whose target slab has exactly one writer for the phase's lifetime
+func (b bitSet) Mark(slab []uint64, v int) {
+	slab[v>>6] |= 1 << (uint(v) & 63) //bfs:bounds-ok v < n by CSR construction; slab spans n bits like the canonical bitmap
+}
+
 type byteSet struct{ *bitset.ByteMap }
 
 func (b byteSet) ChunkWords() []uint64 { return b.Words() }
 func (b byteSet) ChunkSize() int       { return 8 }
+
+// Mark sets v's byte in slab with a plain store.
+//
+//bfs:singlewriter called only from the segmented scatter, whose target slab has exactly one writer for the phase's lifetime
+func (b byteSet) Mark(slab []uint64, v int) {
+	slab[v>>3] |= uint64(1) << (uint(v&7) * 8) //bfs:bounds-ok v < n by CSR construction; slab spans n bytes like the canonical byte map
+}
 
 func newVertexSet(n int, repr StateRepr) vertexSet {
 	if repr == ByteState {
@@ -81,8 +101,9 @@ func newVertexSet(n int, repr StateRepr) vertexSet {
 
 // SMSPBFS runs the parallel single-source BFS of Section 3.2 with the given
 // state representation. The algorithm follows Listings 3 (top-down) and 4
-// (bottom-up): boolean per-vertex state, a single idempotent atomic write in
-// the first top-down phase, and zero synchronization elsewhere. The
+// (bottom-up): boolean per-vertex state, worker-owned scatter targets in
+// the first top-down phase (a single idempotent atomic write on the
+// DisableSegments fallback), and zero synchronization elsewhere. The
 // 64-vertex (bit) / 8-vertex (byte) chunk skipping avoids per-vertex checks
 // over inactive ranges.
 func SMSPBFS(g *graph.Graph, source int, repr StateRepr, opt Options) *Result {
@@ -94,13 +115,19 @@ func SMSPBFS(g *graph.Graph, source int, repr StateRepr, opt Options) *Result {
 // SMSPBFSEngine holds reusable SMS-PBFS state so many single-source runs
 // can share allocations and the worker pool (SMS-PBFS processes a workload
 // "one single source at a time, utilizing all cores", Section 5.3).
+//
+// Like MSPBFSEngine, the parallel substrate is worker-owned: stripe-affine
+// task queues over word-aligned vertex stripes, top-down scatter into
+// worker-private shadow slabs with plain stores, and a static OR-merge at
+// the phase barrier in place of per-vertex CAS.
 type SMSPBFSEngine struct {
 	g    *graph.Graph
 	opt  Options
 	repr StateRepr
 
-	pool *sched.Pool
-	tq   *sched.TaskQueues
+	pool    *sched.Pool
+	tq      *sched.TaskQueues
+	vBounds []int
 
 	// Arena bookkeeping; see the matching MSPBFSEngine fields.
 	eng          *Engine
@@ -112,13 +139,36 @@ type SMSPBFSEngine struct {
 	seen vertexSet
 	buf0 vertexSet
 	buf1 vertexSet
+	// shadows holds the worker-private scatter slabs (chunk-word layout);
+	// nil when Options.DisableSegments selects the shared-CAS path.
+	shadows *bitset.Shadows
+	// clean marks the state arrays known all-zero (constructor scrub), so
+	// the first Run skips its zeroing pass — on short traversals that
+	// second zero pass was a measurable fraction of the whole run.
+	clean bool
 
 	scanned  []padCounter
 	updated  []padCounter
 	frontDeg []padCounter
 
+	// Phase bodies bound once per shell (see MSPBFSEngine.bindPhaseBodies)
+	// plus the iteration state they read.
+	scatterBody    func(int, sched.Range)
+	casScatterBody func(int, sched.Range)
+	mergeBody      func(int, sched.Range)
+	resolveBody    func(int, sched.Range)
+	bottomUpBody   func(int, sched.Range)
+	zeroBody       func(int, sched.Range)
+	phFrontier     vertexSet
+	phNext         vertexSet
+	phLevels       []int32
+	phDepth        int32
+
 	pageMap *numa.PageMap
 	tracker *numa.Tracker
+	// mergeFolded[owner] is per-shadow folded-word scratch for the modeled
+	// merge accounting (nil on untracked runs).
+	mergeFolded [][]int64
 }
 
 // NewSMSPBFSEngine prepares an instance; Close hands the pool and the
@@ -129,7 +179,7 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 	eng := opt.engine()
 	pool, borrowed := opt.resolvePool(eng)
 	workers := pool.Workers()
-	key := smsKey{n: n, split: opt.splitSize(), workers: workers, repr: repr}
+	key := smsKey{n: n, split: opt.splitSize(), workers: workers, repr: repr, seg: !opt.DisableSegments}
 	recycle := opt.Topology.Sockets == 0
 
 	var e *SMSPBFSEngine
@@ -139,12 +189,14 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 	if e != nil {
 		e.g, e.opt, e.pool = g, opt, pool
 	} else {
+		vBounds := numa.AlignedRanges(n, workers, splitStride)
 		e = &SMSPBFSEngine{
 			g:        g,
 			opt:      opt,
 			repr:     repr,
 			pool:     pool,
-			tq:       sched.CreateTasks(n, opt.splitSize(), workers),
+			tq:       sched.CreateStripeTasks(vBounds, opt.splitSize()),
+			vBounds:  vBounds,
 			seen:     newVertexSet(n, repr),
 			buf0:     newVertexSet(n, repr),
 			buf1:     newVertexSet(n, repr),
@@ -152,6 +204,10 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 			updated:  make([]padCounter, workers),
 			frontDeg: make([]padCounter, workers),
 		}
+		if !opt.DisableSegments {
+			e.shadows = bitset.NewShadows(len(e.buf0.ChunkWords()), workers, nil)
+		}
+		e.bindPhaseBodies()
 	}
 	e.eng, e.poolBorrowed, e.recycle, e.key, e.released = eng, borrowed, recycle, key, false
 	if opt.Topology.Sockets > 0 {
@@ -165,23 +221,47 @@ func NewSMSPBFSEngine(g *graph.Graph, repr StateRepr, opt Options) *SMSPBFSEngin
 		e.pageMap = numa.NewPageMap(opt.Topology, n, elemBytes)
 		e.pageMap.PlaceFirstTouch(e.tq)
 		e.tracker = numa.NewTracker(opt.Topology)
+		if e.shadows != nil {
+			// Per-owner scratch for per-shadow merge attribution; see the
+			// matching MSPBFSEngine field.
+			e.mergeFolded = make([][]int64, workers)
+			for w := range e.mergeFolded {
+				e.mergeFolded[w] = make([]int64, workers-1)
+			}
+		}
 		if opt.Topology.Workers() == workers {
 			e.tq.SetStealOrder(numa.StealOrder(opt.Topology))
 		}
 	}
 	// First-touch zero; for a recycled shell this doubles as the arena
-	// scrub.
+	// scrub. Marks the shell clean so Run skips its own zero pass.
 	e.tq.Reset()
-	pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
-		e.seen.ZeroRange(r.Lo, r.Hi)
-		e.buf0.ZeroRange(r.Lo, r.Hi)
-		e.buf1.ZeroRange(r.Lo, r.Hi)
-	})
+	pool.ParallelForStatic(e.tq, e.zeroBody)
+	e.clean = true
 	if debugInvariants {
 		debugCheckBorrowedClean("SMS-PBFS shell",
 			e.seen.Count()+e.buf0.Count()+e.buf1.Count())
+		if e.shadows != nil && !e.shadows.AllClear() {
+			panic("bfsdebug: SMS-PBFS shadows dirty at checkout")
+		}
 	}
 	return e
+}
+
+// bindPhaseBodies builds the per-phase loop bodies once per shell; the
+// bodies read the ph* fields the coordinating goroutine rebinds between
+// barriers, so per-iteration phase dispatch allocates nothing.
+func (e *SMSPBFSEngine) bindPhaseBodies() {
+	e.scatterBody = e.scatterTask
+	e.casScatterBody = e.casScatterTask
+	e.mergeBody = e.mergeTask
+	e.resolveBody = e.resolveTask
+	e.bottomUpBody = e.bottomUpTask
+	e.zeroBody = func(_ int, r sched.Range) {
+		e.seen.ZeroRange(r.Lo, r.Hi)
+		e.buf0.ZeroRange(r.Lo, r.Hi)
+		e.buf1.ZeroRange(r.Lo, r.Hi)
+	}
 }
 
 // Close hands the instance back to its engine; see MSPBFSEngine.Close.
@@ -215,12 +295,11 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	}
 
 	start := time.Now()
-	e.tq.Reset()
-	e.pool.ParallelForStatic(e.tq, func(_ int, r sched.Range) {
-		e.seen.ZeroRange(r.Lo, r.Hi)
-		e.buf0.ZeroRange(r.Lo, r.Hi)
-		e.buf1.ZeroRange(r.Lo, r.Hi)
-	})
+	if !e.clean {
+		e.tq.Reset()
+		e.pool.ParallelForStatic(e.tq, e.zeroBody)
+	}
+	e.clean = false
 
 	frontier, next := e.buf0, e.buf1
 	e.seen.Set(source)
@@ -277,6 +356,8 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 		if unexploredEdges < 0 {
 			unexploredEdges = 0
 		}
+		rec.noteMerge(e.shadows)
+		rec.noteHeuristic(frontEdges, unexploredEdges)
 		rec.record(int(depth), time.Since(iterStart), busy,
 			frontVertices, updated, sumCounters(e.scanned), visited, bottomUp, dirReason,
 			e.scanned, e.updated)
@@ -295,187 +376,312 @@ func (e *SMSPBFSEngine) Run(source int) *Result {
 	return res
 }
 
-// topDownIteration implements Listing 3: phase 1 pushes the frontier to
-// next with idempotent atomic marks and clears the frontier in place;
-// phase 2 resolves newly seen vertices without synchronization.
+// topDownIteration implements Listing 3 on the worker-owned substrate:
+// phase 1 pushes the frontier into worker-private shadow slabs with plain
+// stores and clears the frontier in place; the stripe owners OR-merge the
+// shadows into next at the barrier; phase 2 resolves newly seen vertices
+// without synchronization. With DisableSegments phase 1 falls back to the
+// shared-target idempotent atomic mark.
+//
+//bfs:singlewriter scatter writes go to worker-private slabs (canonical for worker 0); merge gives every word one writer per stripe; resolve touches each vertex from exactly one worker
 func (e *SMSPBFSEngine) topDownIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
-	g, opt := e.g, e.opt
-	ov := opt.Overlay
-	steal := !opt.DisableStealing
+	steal := !e.opt.DisableStealing
+	e.phFrontier, e.phNext, e.phLevels, e.phDepth = frontier, next, levels, depth
+
+	var busy1, busyM []time.Duration
+	if e.shadows == nil {
+		e.tq.Reset()
+		busy1 = e.runPhase(steal, e.casScatterBody)
+	} else {
+		e.tq.Reset()
+		busy1 = e.runPhase(steal, e.scatterBody)
+		if e.shadows.Workers() > 1 {
+			// Static fetch confines each worker to its own stripe — the
+			// single-writer guarantee of the merge.
+			e.tq.Reset()
+			busyM = e.runPhase(false, e.mergeBody)
+		}
+	}
+
+	e.tq.Reset()
+	busy2 := e.runPhase(steal, e.resolveBody)
+	return sumBusy(sumBusy(busy1, busyM), busy2)
+}
+
+// scatterTask is the segmented phase 1: scan the frontier chunk words and
+// mark each neighbor in the worker's private slab (worker 0: the canonical
+// next words). Plain stores only — no atomics on this path.
+//
+//bfs:nocas
+//bfs:singlewriter the target slab has exactly one writer for the phase's lifetime; frontier words are cleared by the task that owns them
+func (e *SMSPBFSEngine) scatterTask(workerID int, r sched.Range) {
+	g, ov := e.g, e.opt.Overlay
+	frontier := e.phFrontier
 	n := g.NumVertices()
 	chunk := frontier.ChunkSize()
-
-	e.tq.Reset()
-	busy1 := e.runPhase(steal, func(workerID int, r sched.Range) {
-		scanned := &e.scanned[workerID]
-		words := frontier.ChunkWords()
-		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
-		if loW < 0 || hiW > len(words) {
-			// BCE hint: task ranges lie inside [0, n), so the chunk-word
-			// window is in bounds; pinning it here keeps the scan loop free
-			// of per-chunk bounds checks (bfsgate contract).
-			panic("smspbfs: task range outside chunk words")
+	scanned := &e.scanned[workerID]
+	tgt := e.shadows.Writer(workerID, e.phNext.ChunkWords())
+	words := frontier.ChunkWords()
+	loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+	if loW < 0 || hiW > len(words) {
+		// BCE hint: task ranges lie inside [0, n), so the chunk-word
+		// window is in bounds; pinning it here keeps the scan loop free
+		// of per-chunk bounds checks (bfsgate contract).
+		panic("smspbfs: task range outside chunk words")
+	}
+	//bfs:hot phase 1 chunk scan: runs per chunk per iteration, must not allocate
+	for wi := loW; wi < hiW; wi++ {
+		if words[wi] == 0 {
+			continue // chunk skip: no active vertex among these
 		}
-		//bfs:hot phase 1 chunk scan: runs per chunk per iteration, must not allocate
-		for wi := loW; wi < hiW; wi++ {
-			if words[wi] == 0 {
-				continue // chunk skip: no active vertex among these
-			}
-			base := wi * chunk
-			limit := base + chunk
-			if limit > n {
-				limit = n
-			}
-			for v := base; v < limit; v++ {
-				if !frontier.Get(v) {
-					continue
-				}
-				nbrs := g.Neighbors(v) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
-				scanned.v += int64(len(nbrs))
-				if e.tracker == nil {
-					for _, nb := range nbrs {
-						// AtomicSet checks with an atomic load first, so
-						// the "only write if unset" optimization of
-						// Listing 3 line 4 happens without a data race on
-						// the word.
-						next.AtomicSet(int(nb))
-					}
-				} else {
-					for _, nb := range nbrs {
-						if next.AtomicSet(int(nb)) {
-							e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
-						}
-					}
-				}
-				if ov != nil {
-					// Fused overlay scan: not-yet-compacted extra neighbors
-					// push through the same idempotent atomic mark.
-					for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-						scanned.v++
-						if next.AtomicSet(int(nb)) && e.tracker != nil {
-							e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
-						}
-					}
-				}
-			}
-			// Frontier cleared in place (Listing 3 line 5). Task ranges are
-			// multiples of 512 vertices, so word wi belongs to exactly one
-			// task and only the worker holding that task writes it.
-			words[wi] = 0 //bfs:singlewriter word-aligned task ranges: one writer per word
+		base := wi * chunk
+		limit := base + chunk
+		if limit > n {
+			limit = n
 		}
-	})
-
-	e.tq.Reset()
-	busy2 := e.runPhase(steal, func(workerID int, r sched.Range) {
-		upd := &e.updated[workerID]
-		fd := &e.frontDeg[workerID]
-		if e.tracker != nil {
-			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
-		}
-		words := next.ChunkWords()
-		loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
-		if loW < 0 || hiW > len(words) {
-			// BCE hint: see the phase 1 chunk-window guard.
-			panic("smspbfs: task range outside chunk words")
-		}
-		//bfs:hot phase 2 chunk scan: runs per chunk per iteration, must not allocate
-		for wi := loW; wi < hiW; wi++ {
-			if words[wi] == 0 {
+		for v := base; v < limit; v++ {
+			if !frontier.Get(v) {
 				continue
 			}
-			base := wi * chunk
-			limit := base + chunk
-			if limit > n {
-				limit = n
+			nbrs := g.Neighbors(v) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			scanned.v += int64(len(nbrs))
+			for _, nb := range nbrs {
+				frontier.Mark(tgt, int(nb))
 			}
-			for v := base; v < limit; v++ {
-				if !next.Get(v) {
-					continue
+			if ov != nil {
+				// Fused overlay scan: extra neighbors mark the same
+				// private slab.
+				for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+					scanned.v++
+					frontier.Mark(tgt, int(nb))
 				}
-				if e.seen.Get(v) {
-					next.Clear(v) // reachable but already seen: drop
-					continue
+			}
+			if e.tracker != nil {
+				// Shadow writes are region-local by construction.
+				e.tracker.RecordLocalN(workerID, int64(len(nbrs))) //bfs:bounds-ok inlined t.local[worker]; workerID < Workers by pool construction, tracker sized to the worker count
+			}
+		}
+		// Frontier cleared in place (Listing 3 line 5). Task ranges are
+		// multiples of 512 vertices, so word wi belongs to exactly one
+		// task and only the worker holding that task writes it.
+		words[wi] = 0 //bfs:singlewriter word-aligned task ranges: one writer per word
+	}
+}
+
+// casScatterTask is the pre-segmentation phase 1 kept for A/B equivalence
+// and ablation (Options.DisableSegments): idempotent atomic marks into the
+// shared next.
+func (e *SMSPBFSEngine) casScatterTask(workerID int, r sched.Range) {
+	g, ov := e.g, e.opt.Overlay
+	frontier, next := e.phFrontier, e.phNext
+	n := g.NumVertices()
+	chunk := frontier.ChunkSize()
+	scanned := &e.scanned[workerID]
+	words := frontier.ChunkWords()
+	loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+	if loW < 0 || hiW > len(words) {
+		// BCE hint: see scatterTask.
+		panic("smspbfs: task range outside chunk words")
+	}
+	//bfs:hot phase 1 chunk scan: runs per chunk per iteration, must not allocate
+	for wi := loW; wi < hiW; wi++ {
+		if words[wi] == 0 {
+			continue // chunk skip: no active vertex among these
+		}
+		base := wi * chunk
+		limit := base + chunk
+		if limit > n {
+			limit = n
+		}
+		for v := base; v < limit; v++ {
+			if !frontier.Get(v) {
+				continue
+			}
+			nbrs := g.Neighbors(v) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			scanned.v += int64(len(nbrs))
+			if e.tracker == nil {
+				for _, nb := range nbrs {
+					// AtomicSet checks with an atomic load first, so
+					// the "only write if unset" optimization of
+					// Listing 3 line 4 happens without a data race on
+					// the word.
+					next.AtomicSet(int(nb))
 				}
-				e.seen.Set(v)
-				upd.v++
-				fd.v += int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
-				if ov != nil {
-					fd.v += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+			} else {
+				for _, nb := range nbrs {
+					if next.AtomicSet(int(nb)) {
+						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+					}
 				}
-				if levels != nil {
-					levels[v] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
-				}
-				if opt.OnVisit != nil {
-					opt.OnVisit(workerID, 0, v, int(depth))
+			}
+			if ov != nil {
+				// Fused overlay scan: not-yet-compacted extra neighbors
+				// push through the same idempotent atomic mark.
+				for _, nb := range ov.Extra(v) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+					scanned.v++
+					if next.AtomicSet(int(nb)) && e.tracker != nil {
+						e.tracker.RecordElem(e.pageMap, workerID, int(nb)) //bfs:bounds-ok inlined page-map indexing on the off-by-default tracking path
+					}
 				}
 			}
 		}
-	})
-	return sumBusy(busy1, busy2)
+		words[wi] = 0 //bfs:singlewriter word-aligned task ranges: one writer per word
+	}
+}
+
+// mergeTask publishes one stripe sub-range of the scatter: the owner folds
+// every worker's shadow words into the canonical next chunk words and
+// zeroes them. Plain stores only.
+//
+//bfs:nocas
+//bfs:singlewriter stripe owner is the only writer of its canonical and shadow words between barriers
+func (e *SMSPBFSEngine) mergeTask(workerID int, r sched.Range) {
+	chunk := e.phNext.ChunkSize()
+	canon := e.phNext.ChunkWords()
+	loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+	if e.tracker == nil {
+		e.shadows.MergeRange(workerID, canon, loW, hiW)
+		return
+	}
+	counts := e.mergeFolded[workerID]
+	for i := range counts {
+		counts[i] = 0
+	}
+	folded := e.shadows.MergeRangeCounts(workerID, canon, loW, hiW, counts)
+	// Charge only folded words: canonical writes local by first-touch,
+	// shadow reads region-crossing per writer; no-change merge reads are
+	// shareable and uncharged (the CAS path's convention).
+	e.tracker.RecordLocalN(workerID, folded)
+	for sw := 1; sw < e.shadows.Workers(); sw++ {
+		e.tracker.RecordShadowMerge(workerID, sw, counts[sw-1])
+	}
+}
+
+// resolveTask is phase 2: resolve newly seen vertices without
+// synchronization (Listing 3 lines 6-11).
+//
+//bfs:nocas
+func (e *SMSPBFSEngine) resolveTask(workerID int, r sched.Range) {
+	g, opt := e.g, e.opt
+	ov := opt.Overlay
+	next := e.phNext
+	levels := e.phLevels
+	n := g.NumVertices()
+	chunk := next.ChunkSize()
+	upd := &e.updated[workerID]
+	fd := &e.frontDeg[workerID]
+	if e.tracker != nil {
+		e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+	}
+	words := next.ChunkWords()
+	loW, hiW := r.Lo/chunk, (r.Hi+chunk-1)/chunk
+	if loW < 0 || hiW > len(words) {
+		// BCE hint: see the phase 1 chunk-window guard.
+		panic("smspbfs: task range outside chunk words")
+	}
+	//bfs:hot phase 2 chunk scan: runs per chunk per iteration, must not allocate
+	for wi := loW; wi < hiW; wi++ {
+		if words[wi] == 0 {
+			continue
+		}
+		base := wi * chunk
+		limit := base + chunk
+		if limit > n {
+			limit = n
+		}
+		for v := base; v < limit; v++ {
+			if !next.Get(v) {
+				continue
+			}
+			if e.seen.Get(v) {
+				next.Clear(v) // reachable but already seen: drop
+				continue
+			}
+			e.seen.Set(v)
+			upd.v++
+			fd.v += int64(g.Degree(v)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			if ov != nil {
+				fd.v += int64(ov.ExtraDegree(v)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+			}
+			if levels != nil {
+				levels[v] = e.phDepth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
+			}
+			if opt.OnVisit != nil {
+				opt.OnVisit(workerID, 0, v, int(e.phDepth))
+			}
+		}
+	}
 }
 
 // bottomUpIteration implements Listing 4: unseen vertices scan their
 // neighbor lists for a frontier member; stale next bits of seen vertices
 // are scrubbed in the same pass so the buffers can swap roles.
 func (e *SMSPBFSEngine) bottomUpIteration(frontier, next vertexSet, levels []int32, depth int32) []time.Duration {
+	steal := !e.opt.DisableStealing
+	e.phFrontier, e.phNext, e.phLevels, e.phDepth = frontier, next, levels, depth
+	e.tq.Reset()
+	return e.runPhase(steal, e.bottomUpBody)
+}
+
+// bottomUpTask scans one destination range for frontier parents.
+//
+//bfs:nocas
+func (e *SMSPBFSEngine) bottomUpTask(workerID int, r sched.Range) {
 	g, opt := e.g, e.opt
 	ov := opt.Overlay
-	steal := !opt.DisableStealing
-
-	e.tq.Reset()
-	return e.runPhase(steal, func(workerID int, r sched.Range) {
-		scanned := &e.scanned[workerID]
-		upd := &e.updated[workerID]
-		fd := &e.frontDeg[workerID]
-		if e.tracker != nil {
-			e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
-		}
-		//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
-		for u := r.Lo; u < r.Hi; u++ {
-			if e.seen.Get(u) {
-				if next.Get(u) {
-					next.Clear(u) // Listing 4 lines 2-3
-				}
-				continue
+	frontier, next := e.phFrontier, e.phNext
+	levels := e.phLevels
+	scanned := &e.scanned[workerID]
+	upd := &e.updated[workerID]
+	fd := &e.frontDeg[workerID]
+	if e.tracker != nil {
+		e.tracker.RecordRangeElems(e.pageMap, workerID, r.Lo, r.Hi)
+	}
+	//bfs:hot bottom-up sweep: runs per vertex per iteration, must not allocate
+	for u := r.Lo; u < r.Hi; u++ {
+		if e.seen.Get(u) {
+			if next.Get(u) {
+				next.Clear(u) // Listing 4 lines 2-3
 			}
-			found := false
-			for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			continue
+		}
+		found := false
+		for _, v := range g.Neighbors(u) { //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			scanned.v++
+			if frontier.Get(int(v)) {
+				found = true
+				break
+			}
+		}
+		if !found && ov != nil {
+			// Fused overlay scan: the extra neighbors get the same
+			// find-one-frontier-parent early exit as the CSR list.
+			for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
 				scanned.v++
 				if frontier.Get(int(v)) {
 					found = true
 					break
 				}
 			}
-			if !found && ov != nil {
-				// Fused overlay scan: the extra neighbors get the same
-				// find-one-frontier-parent early exit as the CSR list.
-				for _, v := range ov.Extra(u) { //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-					scanned.v++
-					if frontier.Get(int(v)) {
-						found = true
-						break
-					}
-				}
-			}
-			if found {
-				next.Set(u)
-				e.seen.Set(u)
-				upd.v++
-				fd.v += int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
-				if ov != nil {
-					fd.v += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
-				}
-				if levels != nil {
-					levels[u] = depth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
-				}
-				if opt.OnVisit != nil {
-					opt.OnVisit(workerID, 0, u, int(depth))
-				}
-			} else if next.Get(u) {
-				next.Clear(u) // scrub stale bit from two iterations ago
-			}
 		}
-	})
+		if found {
+			next.Set(u)
+			e.seen.Set(u)
+			upd.v++
+			fd.v += int64(g.Degree(u)) //bfs:bounds-ok inlined CSR offset pair; offsets sized n+1 by Builder
+			if ov != nil {
+				fd.v += int64(ov.ExtraDegree(u)) //bfs:bounds-ok inlined overlay page indexing; pages sized to cover n by NewOverlay
+			}
+			if levels != nil {
+				levels[u] = e.phDepth //bfs:bounds-ok levels is engine-sized to n; written once per discovered vertex, not per edge
+			}
+			if opt.OnVisit != nil {
+				opt.OnVisit(workerID, 0, u, int(e.phDepth))
+			}
+		} else if next.Get(u) {
+			next.Clear(u) // scrub stale bit from two iterations ago
+		}
+	}
 }
 
 func (e *SMSPBFSEngine) runPhase(steal bool, body func(workerID int, r sched.Range)) []time.Duration {

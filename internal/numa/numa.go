@@ -247,6 +247,26 @@ func (t *Tracker) RecordRangeElems(m *PageMap, worker, lo, hi int) {
 	}
 }
 
+// RecordLocalN accounts n accesses that are local by construction — the
+// worker-owned frontier shadows: a scatter into the worker's private slab
+// never leaves its region, which is precisely the property the segmented
+// substrate buys over the shared-CAS design.
+func (t *Tracker) RecordLocalN(worker int, n int64) {
+	t.local[worker] += n
+}
+
+// RecordShadowMerge accounts a stripe owner's merge reads of another
+// worker's shadow stripe: local when both workers share a region, remote
+// otherwise. The canonical stripe write is local by first-touch and is
+// accounted separately via RecordRangeElems.
+func (t *Tracker) RecordShadowMerge(owner, shadowWorker int, words int64) {
+	if t.topo.RegionOf(owner) == t.topo.RegionOf(shadowWorker) {
+		t.local[owner] += words
+	} else {
+		t.remote[owner] += words
+	}
+}
+
 // RecordElem accounts a single-element access.
 func (t *Tracker) RecordElem(m *PageMap, worker, v int) {
 	region := t.topo.RegionOf(worker)

@@ -1,0 +1,121 @@
+// Real placement: the first genuinely hardware-facing piece of this
+// package. The simulation substrate (PageMap/Tracker) stays authoritative
+// for the paper's *analysis*; Placer below adds best-effort *actual*
+// placement of engine arenas: node-count detection from sysfs, mmap-backed
+// slab allocation (so pages are faulted by their first toucher rather than
+// pre-faulted by the Go allocator's scavenger), an interleave hint via the
+// mbind syscall, and worker→CPU pinning via sched_setaffinity. Every layer
+// degrades gracefully: on a single-node machine, a non-Linux OS, or a
+// restricted container the Placer falls back to plain make/no-ops, and the
+// kernels run unchanged.
+package numa
+
+import "sync"
+
+// LLCBytes returns the size of the last-level cache detected from sysfs,
+// falling back to 8 MiB when detection is unavailable. The kernels size
+// their cache-blocked bottom-up stripes from it.
+func LLCBytes() int64 {
+	llcOnce.Do(func() {
+		llcBytes = detectLLCBytes()
+		if llcBytes <= 0 {
+			llcBytes = 8 << 20
+		}
+	})
+	return llcBytes
+}
+
+var (
+	llcOnce  sync.Once
+	llcBytes int64
+)
+
+// Placer performs best-effort real NUMA placement of arena slabs. The zero
+// value is not usable; construct with NewPlacer. A Placer owns the mmap
+// spans it hands out; Release unmaps them (slabs must no longer be in use).
+type Placer struct {
+	mu    sync.Mutex
+	nodes int
+	cpus  int
+	spans [][]byte // mmap-backed allocations, for Release
+}
+
+// NewPlacer detects the machine's NUMA layout and returns a placer.
+func NewPlacer() *Placer {
+	n, c := detectNodes()
+	if n < 1 {
+		n = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	return &Placer{nodes: n, cpus: c}
+}
+
+// Nodes returns the number of detected NUMA nodes (1 when detection is
+// unavailable).
+func (p *Placer) Nodes() int { return p.nodes }
+
+// CPUs returns the number of detected CPUs the process may run on.
+func (p *Placer) CPUs() int { return p.cpus }
+
+// AllocUint64 returns a zeroed word slab. On Linux the slab is a private
+// anonymous mmap — untouched pages, so the worker that zeroes a stripe
+// first-touches (and thereby places) it, exactly the paper's Section 4.4
+// protocol. Elsewhere, or if mmap fails, it falls back to make.
+func (p *Placer) AllocUint64(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	if b, ok := mmapBytes(n * 8); ok {
+		p.mu.Lock()
+		p.spans = append(p.spans, b)
+		p.mu.Unlock()
+		return bytesToWords(b, n)
+	}
+	return make([]uint64, n)
+}
+
+// Interleave advises the kernel to bind each stripe of words to the node
+// of its owning worker: stripe i covers words [bounds[i], bounds[i+1]) and
+// belongs to worker i, which maps to node i*nodes/workers. A no-op when
+// only one node exists or the words are not an mmap span this placer owns.
+// Errors are ignored by design — placement is a performance hint, never a
+// correctness requirement.
+func (p *Placer) Interleave(words []uint64, bounds []int) {
+	if p.nodes <= 1 || len(bounds) < 2 || len(words) == 0 {
+		return
+	}
+	workers := len(bounds) - 1
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		node := w * p.nodes / workers
+		bindWords(words[lo:hi], node)
+	}
+}
+
+// PinWorker binds the calling goroutine's OS thread to one CPU, spreading
+// workers round-robin over the detected CPUs. Call from a pool's pin hook
+// (the goroutine must be locked to its thread for the affinity to stick).
+// Best-effort: failures are silently ignored.
+func (p *Placer) PinWorker(workerID int) {
+	if p.cpus < 1 {
+		return
+	}
+	pinThread(workerID % p.cpus)
+}
+
+// Release unmaps every slab this placer allocated. The slabs must no
+// longer be referenced.
+func (p *Placer) Release() {
+	p.mu.Lock()
+	spans := p.spans
+	p.spans = nil
+	p.mu.Unlock()
+	for _, b := range spans {
+		munmapBytes(b)
+	}
+}

@@ -1,0 +1,171 @@
+//go:build linux
+
+package numa
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// detectNodes reads the NUMA node and CPU counts from sysfs. Containers
+// without /sys mounted (or non-NUMA kernels) report one node.
+func detectNodes() (nodes, cpus int) {
+	nodes = countFromSysfsList("/sys/devices/system/node/possible")
+	if nodes < 1 {
+		// Fallback: count nodeN directories.
+		ents, err := os.ReadDir("/sys/devices/system/node")
+		if err == nil {
+			for _, e := range ents {
+				name := e.Name()
+				if strings.HasPrefix(name, "node") {
+					if _, err := strconv.Atoi(name[4:]); err == nil {
+						nodes++
+					}
+				}
+			}
+		}
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	cpus = runtime.NumCPU()
+	return nodes, cpus
+}
+
+// countFromSysfsList parses a kernel cpulist-format file ("0-3,8") and
+// returns the number of ids it names, or 0 on any error.
+func countFromSysfsList(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	total := 0
+	for _, part := range strings.Split(strings.TrimSpace(string(b)), ",") {
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			l, err1 := strconv.Atoi(lo)
+			h, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || h < l {
+				return 0
+			}
+			total += h - l + 1
+		} else {
+			if _, err := strconv.Atoi(part); err != nil {
+				return 0
+			}
+			total++
+		}
+	}
+	return total
+}
+
+// detectLLCBytes parses /sys/devices/system/cpu/cpu0/cache: the highest
+// index level present is the LLC. Sizes are reported like "8192K".
+func detectLLCBytes() int64 {
+	for _, idx := range []string{"index3", "index2", "index1"} {
+		b, err := os.ReadFile("/sys/devices/system/cpu/cpu0/cache/" + idx + "/size")
+		if err != nil {
+			continue
+		}
+		s := strings.TrimSpace(string(b))
+		mult := int64(1)
+		switch {
+		case strings.HasSuffix(s, "K"):
+			mult, s = 1<<10, s[:len(s)-1]
+		case strings.HasSuffix(s, "M"):
+			mult, s = 1<<20, s[:len(s)-1]
+		}
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v * mult
+		}
+	}
+	return 0
+}
+
+// mmapBytes allocates n bytes of private anonymous memory. The pages are
+// untouched: the first write from a pinned worker faults them onto that
+// worker's node (first-touch).
+func mmapBytes(n int) ([]byte, bool) {
+	b, err := syscall.Mmap(-1, 0, n,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func munmapBytes(b []byte) {
+	_ = syscall.Munmap(b)
+}
+
+// bytesToWords reinterprets an mmap span as a word slice. mmap returns
+// page-aligned memory, so the uint64 alignment requirement always holds.
+func bytesToWords(b []byte, n int) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+}
+
+// Linux syscall numbers (amd64/arm64 share mbind's semantics; numbers via
+// the asm-generic table used by arm64 and the amd64 table).
+const (
+	sysMbindAmd64 = 237
+	sysMbindArm64 = 235
+	mpolPreferred = 1
+)
+
+// bindWords issues mbind(MPOL_PREFERRED, node) for the page-aligned
+// interior of the span — a hint that faults should land on the stripe
+// owner's node even if the faulting thread migrated. Errors (no
+// CAP_SYS_NICE, cpuset restrictions, non-mmap memory) are ignored.
+func bindWords(words []uint64, node int) {
+	if len(words) == 0 {
+		return
+	}
+	var trap uintptr
+	switch runtime.GOARCH {
+	case "amd64":
+		trap = sysMbindAmd64
+	case "arm64":
+		trap = sysMbindArm64
+	default:
+		return
+	}
+	addr := uintptr(unsafe.Pointer(&words[0]))
+	length := uintptr(len(words) * 8)
+	// Align the start up and the end down to page borders; mbind rejects
+	// unaligned addresses. Stripe borders are word-aligned, not necessarily
+	// page-aligned, so a partial leading/trailing page stays unbound.
+	const page = PageSize
+	end := addr + length
+	addr = (addr + page - 1) &^ (page - 1)
+	end = end &^ (page - 1)
+	if end <= addr {
+		return
+	}
+	// nodemask: one uint64 is enough for <= 64 nodes.
+	mask := uint64(1) << uint(node%64)
+	_, _, _ = syscall.Syscall6(trap, addr, end-addr, mpolPreferred,
+		uintptr(unsafe.Pointer(&mask)), 64+1, 0)
+}
+
+// pinThread binds the calling thread to one CPU via sched_setaffinity(0, …).
+func pinThread(cpu int) {
+	var trap uintptr
+	switch runtime.GOARCH {
+	case "amd64":
+		trap = 203 // SYS_SCHED_SETAFFINITY
+	case "arm64":
+		trap = 122
+	default:
+		return
+	}
+	var mask [16]uint64 // 1024 CPUs
+	mask[(cpu/64)%len(mask)] = 1 << uint(cpu%64)
+	_, _, _ = syscall.Syscall(trap, 0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

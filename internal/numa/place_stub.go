@@ -1,0 +1,23 @@
+//go:build !linux
+
+package numa
+
+import "runtime"
+
+// Non-Linux fallback: no sysfs, no mmap spans, no affinity control. The
+// Placer still works — every allocation is a plain make and every
+// placement call is a no-op — so the engine code needs no build tags.
+
+func detectNodes() (nodes, cpus int) { return 1, runtime.NumCPU() }
+
+func detectLLCBytes() int64 { return 0 }
+
+func mmapBytes(n int) ([]byte, bool) { return nil, false }
+
+func munmapBytes(b []byte) {}
+
+func bytesToWords(b []byte, n int) []uint64 { return nil }
+
+func bindWords(words []uint64, node int) {}
+
+func pinThread(cpu int) {}

@@ -1,0 +1,81 @@
+package numa
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPlacerDetectsAtLeastOneNode(t *testing.T) {
+	p := NewPlacer()
+	defer p.Release()
+	if p.Nodes() < 1 || p.CPUs() < 1 {
+		t.Fatalf("placer detected %d nodes / %d cpus", p.Nodes(), p.CPUs())
+	}
+}
+
+func TestPlacerAllocUint64(t *testing.T) {
+	p := NewPlacer()
+	defer p.Release()
+	// Cover both the sub-page and the multi-page path.
+	for _, n := range []int{0, 7, 4096, 1 << 16} {
+		s := p.AllocUint64(n)
+		if len(s) != n {
+			t.Fatalf("AllocUint64(%d) returned %d words", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("AllocUint64(%d) word %d not zeroed", n, i)
+			}
+		}
+		// The slab must be writable (first-touch is a write).
+		if n > 0 {
+			s[0] = ^uint64(0)
+			s[n-1] = ^uint64(0)
+		}
+	}
+}
+
+func TestPlacerInterleaveAndPinAreSafe(t *testing.T) {
+	p := NewPlacer()
+	defer p.Release()
+	words := p.AllocUint64(1 << 14)
+	bounds := AlignedRanges(len(words), 4, 64)
+	// On a one-node box this is a no-op; on a NUMA box it issues mbind.
+	// Either way it must not corrupt the slab or panic.
+	p.Interleave(words, bounds)
+	words[0] = 1
+	words[len(words)-1] = 2
+	if words[0] != 1 || words[len(words)-1] != 2 {
+		t.Fatal("interleaved slab lost writes")
+	}
+
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	p.PinWorker(0) // best-effort; must not panic even in restricted sandboxes
+	p.PinWorker(p.CPUs() + 3)
+}
+
+func TestPlacerReleaseIdempotent(t *testing.T) {
+	p := NewPlacer()
+	_ = p.AllocUint64(1024)
+	p.Release()
+	p.Release()
+	// Fresh allocations after Release must still work (new spans).
+	s := p.AllocUint64(64)
+	if len(s) != 64 {
+		t.Fatal("alloc after release failed")
+	}
+	p.Release()
+}
+
+func TestTrackerShadowAccounting(t *testing.T) {
+	topo := Topology{Sockets: 2, WorkersPerSocket: 2}
+	tr := NewTracker(topo)
+	tr.RecordLocalN(1, 10)
+	tr.RecordShadowMerge(0, 1, 5) // same socket: local
+	tr.RecordShadowMerge(0, 2, 7) // cross socket: remote
+	l, r := tr.Totals()
+	if l != 15 || r != 7 {
+		t.Fatalf("local/remote = %d/%d, want 15/7", l, r)
+	}
+}

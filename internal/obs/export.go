@@ -43,32 +43,36 @@ func writeTraversalText(w io.Writer, tv *Traversal) error {
 		tv.ArenaHits, tv.ArenaMisses); err != nil {
 		return err
 	}
-	exchanged := false
+	exchanged, merged := false, false
 	for _, it := range tv.Iterations {
 		if it.ExchangeRawBytes != 0 {
 			exchanged = true
-			break
+		}
+		if it.MergeWords != 0 {
+			merged = true
 		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
-	if exchanged {
-		fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\txbytes\txratio\t")
-	} else {
-		fmt.Fprintln(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\t")
+	fmt.Fprint(tw, "iter\tdir\treason\tfrontier\tnext\tscanned\tvisited\ttime\ttasks\tsteals\t")
+	if merged {
+		fmt.Fprint(tw, "mergew\t")
 	}
+	if exchanged {
+		fmt.Fprint(tw, "xbytes\txratio\t")
+	}
+	fmt.Fprintln(tw)
 	for _, it := range tv.Iterations {
-		if exchanged {
-			fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%.3f\t\n",
-				it.Iteration, it.Direction(), it.Reason,
-				it.Frontier, it.Next, it.Scanned, it.Visited,
-				fmtDur(it.Duration), it.Tasks(), it.Steals(),
-				it.ExchangeBytes, it.CompressionRatio())
-			continue
-		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t\n",
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t",
 			it.Iteration, it.Direction(), it.Reason,
 			it.Frontier, it.Next, it.Scanned, it.Visited,
 			fmtDur(it.Duration), it.Tasks(), it.Steals())
+		if merged {
+			fmt.Fprintf(tw, "%d\t", it.MergeWords)
+		}
+		if exchanged {
+			fmt.Fprintf(tw, "%d\t%.3f\t", it.ExchangeBytes, it.CompressionRatio())
+		}
+		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
 }
@@ -171,6 +175,14 @@ func appendTraversalEvents(events []chromeEvent, tv *Traversal, origin time.Time
 			args["exchange_bytes"] = it.ExchangeBytes
 			args["exchange_raw_bytes"] = it.ExchangeRawBytes
 			args["compression_ratio"] = it.CompressionRatio()
+		}
+		if it.FrontierEdges != 0 || it.UnexploredEdges != 0 {
+			args["frontier_edges"] = it.FrontierEdges
+			args["unexplored_edges"] = it.UnexploredEdges
+		}
+		if it.MergeWords != 0 {
+			args["merge_words"] = it.MergeWords
+			args["merge_words_per_worker"] = it.WorkerMergeWords
 		}
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("L%d %s", it.Iteration, it.Direction()),

@@ -69,6 +69,21 @@ type IterationRecord struct {
 	// single-process traversals.
 	ExchangeBytes    int64 `json:"exchange_bytes,omitempty"`
 	ExchangeRawBytes int64 `json:"exchange_raw_bytes,omitempty"`
+	// FrontierEdges and UnexploredEdges are the direction heuristic's
+	// other two inputs (Frontier is the third): the out-degree sum of the
+	// frontier entering the iteration and the edges not yet claimed by any
+	// discovered vertex. Recording them pins the full decideDirection
+	// input vector per iteration, which is what the overlay-fusion
+	// equivalence tests diff between fused and compacted runs.
+	FrontierEdges   int64 `json:"frontier_edges,omitempty"`
+	UnexploredEdges int64 `json:"unexplored_edges,omitempty"`
+	// MergeWords and WorkerMergeWords describe the segmented substrate's
+	// barrier publication: shadow words each stripe owner folded into the
+	// canonical next this iteration (per owner in WorkerMergeWords, summed
+	// in MergeWords). Zero/nil for bottom-up iterations, solo-worker runs,
+	// and kernels on the shared-CAS path.
+	MergeWords       int64   `json:"merge_words,omitempty"`
+	WorkerMergeWords []int64 `json:"worker_merge_words,omitempty"`
 }
 
 // Direction renders the direction as the paper's terminology.

@@ -34,6 +34,16 @@ func Threshold(name string) float64 {
 		// purpose — the nil-guard fast path is a single predicted branch, so
 		// any real movement here means a hook leaked onto the hot path.
 		return 0.02
+	case strings.HasPrefix(name, "smspbfs/"):
+		// Single-source kernels: one traversal's worth of work per
+		// repetition instead of the multi-source batch, so the median sits
+		// an order of magnitude lower than the mspbfs rows and the same
+		// absolute jitter (timer granularity, a stray GC cycle during the
+		// O(n)-per-iteration frontier maintenance) is a larger fraction of
+		// it. 8% keeps the gate meaningful without tripping on noise; the
+		// absolute-GTEPS investigation of the smspbfs/bit outlier is
+		// recorded in docs/BENCHMARKS.md.
+		return 0.08
 	case name == "server/coalescer":
 		// Closed-loop queueing: batch formation is timing-sensitive, so
 		// medians wander more than the pure kernels.

@@ -36,6 +36,10 @@ type Config struct {
 	Workers int
 	// Scale is the Kronecker graph scale (<=0: 16, or 10 in Quick mode).
 	Scale int
+	// LargeScale is the Kronecker scale of the suite's larger pinned
+	// fixture, driving the *-large scenarios that exercise the kernels
+	// past LLC capacity (<=0: 18, or 13 in Quick mode). Must exceed Scale.
+	LargeScale int
 	// Sources is the multi-source workload size (<=0: 64, the Graph500
 	// batch the paper fixes in Section 5.3).
 	Sources int
@@ -69,6 +73,13 @@ func (c Config) withDefaults() Config {
 			c.Scale = 10
 		} else {
 			c.Scale = 16
+		}
+	}
+	if c.LargeScale <= 0 {
+		if c.Quick {
+			c.LargeScale = 13
+		} else {
+			c.LargeScale = 18
 		}
 	}
 	if c.Sources <= 0 {
@@ -163,6 +174,8 @@ func Scenarios() []Scenario {
 		{"obs/nil-tracer", "MS-PBFS auto with tracing hooks disabled (nil tracer)", UnitEdgesTraversed, runObsNilTracer},
 		{"cluster/inproc", "sharded MS-PBFS over a 2-shard loopback cluster", UnitEdgesTraversed, runClusterInproc},
 		{"dyn/overlay-scan", "MS-PBFS auto with a resident dynamic-delta overlay", UnitEdgesTraversed, runDynOverlayScan},
+		{"mspbfs/auto-large", "MS-PBFS direction switching on the large fixture", UnitEdgesTraversed, runMSPBFSAutoLarge},
+		{"msbfs/sequential-large", "sequential MS-BFS on the large fixture", UnitEdgesTraversed, runMSBFSSeqLarge},
 	}
 }
 

@@ -65,6 +65,7 @@ func (e Environment) Comparable(o Environment) bool {
 type RunConfig struct {
 	Quick        bool               `json:"quick"`
 	Scale        int                `json:"scale"`
+	LargeScale   int                `json:"large_scale,omitempty"`
 	Sources      int                `json:"sources"`
 	Workers      int                `json:"workers"`
 	Warmup       int                `json:"warmup"`
@@ -79,8 +80,8 @@ type RunConfig struct {
 // (handicaps excluded — comparing a handicapped run against a clean one is
 // exactly how the gate is validated).
 func (c RunConfig) sameWorkload(o RunConfig) bool {
-	return c.Quick == o.Quick && c.Scale == o.Scale && c.Sources == o.Sources &&
-		c.Workers == o.Workers && c.Seed == o.Seed &&
+	return c.Quick == o.Quick && c.Scale == o.Scale && c.LargeScale == o.LargeScale &&
+		c.Sources == o.Sources && c.Workers == o.Workers && c.Seed == o.Seed &&
 		c.LoadClients == o.LoadClients && c.LoadRequests == o.LoadRequests
 }
 

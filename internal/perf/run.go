@@ -26,8 +26,8 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	fmt.Fprintf(cfg.out(), "perf: building fixture (kron scale=%d, %d sources, %d workers)\n",
-		cfg.Scale, cfg.Sources, cfg.Workers)
+	fmt.Fprintf(cfg.out(), "perf: building fixtures (kron scale=%d, large scale=%d, %d sources, %d workers)\n",
+		cfg.Scale, cfg.LargeScale, cfg.Sources, cfg.Workers)
 	env, err := newSuiteEnv(cfg)
 	if err != nil {
 		return nil, err
@@ -75,6 +75,7 @@ func Run(cfg Config) (*Report, error) {
 		Config: RunConfig{
 			Quick:        cfg.Quick,
 			Scale:        cfg.Scale,
+			LargeScale:   cfg.LargeScale,
 			Sources:      cfg.Sources,
 			Workers:      cfg.Workers,
 			Warmup:       cfg.Warmup,

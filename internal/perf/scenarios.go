@@ -25,12 +25,20 @@ type suiteEnv struct {
 	g       *graph.Graph // striped labeling, the suite's traversal input
 	sources []int
 	counter *metrics.EdgeCounter
-	edges   []graph.Edge  // canonical edge list for the CSR build scenario
-	srvG    *msbfs.Graph  // the same CSR wrapped for the coalescer
-	eng     *msbfs.Engine // warm persistent engine for the engine/reuse scenario
-	clu     *cluster.Inproc
-	cluRG   *cluster.RemoteGraph // suite graph sharded over the inproc cluster
-	ov      *graph.Overlay       // resident delta for the dyn/overlay-scan scenario
+	// The large fixture (cfg.LargeScale) drives the *-large scenarios: a
+	// working set past LLC capacity, where the worker-owned frontier
+	// segments and cache-blocked bottom-up stripes are supposed to earn
+	// their keep (ROADMAP item 5: mspbfs/auto must beat msbfs/sequential
+	// here, the paper's headline claim at scale).
+	gLarge       *graph.Graph
+	sourcesLarge []int
+	counterLarge *metrics.EdgeCounter
+	edges        []graph.Edge  // canonical edge list for the CSR build scenario
+	srvG         *msbfs.Graph  // the same CSR wrapped for the coalescer
+	eng          *msbfs.Engine // warm persistent engine for the engine/reuse scenario
+	clu          *cluster.Inproc
+	cluRG        *cluster.RemoteGraph // suite graph sharded over the inproc cluster
+	ov           *graph.Overlay       // resident delta for the dyn/overlay-scan scenario
 }
 
 // close releases the fixture's long-lived resources after the suite run.
@@ -47,6 +55,18 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 	if len(sources) < cfg.Sources {
 		return nil, fmt.Errorf("perf: graph scale %d yielded only %d/%d usable sources",
 			cfg.Scale, len(sources), cfg.Sources)
+	}
+	// The large fixture is pinned exactly like the base one: same seed,
+	// same striped relabeling, same source-selection procedure, just a
+	// bigger scale — so *-large rows are comparable across reports the
+	// same way the base rows are.
+	baseLarge := bench.KroneckerGraph(cfg.LargeScale, cfg.Seed)
+	stripedLarge, _ := label.Apply(baseLarge, label.Striped,
+		label.Params{Workers: cfg.Workers, TaskSize: 512})
+	sourcesLarge := core.RandomSources(stripedLarge, cfg.Sources, cfg.Seed)
+	if len(sourcesLarge) < cfg.Sources {
+		return nil, fmt.Errorf("perf: graph scale %d yielded only %d/%d usable sources",
+			cfg.LargeScale, len(sourcesLarge), cfg.Sources)
 	}
 	n := striped.NumVertices()
 	edges := make([]graph.Edge, 0, striped.NumEdges())
@@ -86,16 +106,19 @@ func newSuiteEnv(cfg Config) (*suiteEnv, error) {
 		}
 	}
 	return &suiteEnv{
-		cfg:     cfg,
-		g:       striped,
-		sources: sources,
-		counter: metrics.NewEdgeCounter(striped),
-		edges:   edges,
-		srvG:    srvG,
-		eng:     msbfs.NewEngine(msbfs.Options{Workers: cfg.Workers}),
-		clu:     clu,
-		cluRG:   cluRG,
-		ov:      graph.NewOverlay(n).WithEdges(extra, nil),
+		cfg:          cfg,
+		g:            striped,
+		sources:      sources,
+		counter:      metrics.NewEdgeCounter(striped),
+		gLarge:       stripedLarge,
+		sourcesLarge: sourcesLarge,
+		counterLarge: metrics.NewEdgeCounter(stripedLarge),
+		edges:        edges,
+		srvG:         srvG,
+		eng:          msbfs.NewEngine(msbfs.Options{Workers: cfg.Workers}),
+		clu:          clu,
+		cluRG:        cluRG,
+		ov:           graph.NewOverlay(n).WithEdges(extra, nil),
 	}, nil
 }
 
@@ -163,6 +186,35 @@ func runMSBFSSeq(e *suiteEnv) Sample {
 	opt := core.Options{Workers: 1, BatchWords: 1}
 	return runMulti(e, func() *core.MultiResult {
 		return core.MSBFS(e.g, e.sources, opt)
+	})
+}
+
+// runMultiLarge is runMulti against the large fixture's workload/counter.
+func runMultiLarge(e *suiteEnv, f func() *core.MultiResult) Sample {
+	start := time.Now()
+	res := f()
+	elapsed := time.Since(start)
+	st := res.Stats
+	st.TraversedEdges = e.counterLarge.EdgesForAll(e.sourcesLarge)
+	return Sample{Elapsed: elapsed, Work: st.TraversedEdges, Stats: &st}
+}
+
+// runMSPBFSAutoLarge is the parallel kernel on the large fixture. Its row
+// carries the ROADMAP item 5 acceptance claim: median GTEPS here must not
+// fall below msbfs/sequential-large.
+func runMSPBFSAutoLarge(e *suiteEnv) Sample {
+	opt := e.traversalOpts()
+	opt.Direction = core.Auto
+	return runMultiLarge(e, func() *core.MultiResult {
+		return core.MSPBFS(e.gLarge, e.sourcesLarge, opt)
+	})
+}
+
+// runMSBFSSeqLarge is the sequential baseline on the same large fixture.
+func runMSBFSSeqLarge(e *suiteEnv) Sample {
+	opt := core.Options{Workers: 1, BatchWords: 1}
+	return runMultiLarge(e, func() *core.MultiResult {
+		return core.MSBFS(e.gLarge, e.sourcesLarge, opt)
 	})
 }
 

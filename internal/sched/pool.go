@@ -40,6 +40,11 @@ type Pool struct {
 	panics chan any
 	done   sync.WaitGroup
 
+	// pin, when non-nil, is called once from each worker goroutine before
+	// it starts serving phases — the hook real NUMA placement uses to bind
+	// workers to CPUs (internal/numa.PinWorker). Best-effort by contract.
+	pin func(workerID int)
+
 	closed bool
 }
 
@@ -73,6 +78,15 @@ type phaseJob struct {
 // NewPool starts a pool with the given number of workers. lockThreads pins
 // each worker to an OS thread for the pool's lifetime.
 func NewPool(workers int, lockThreads bool) *Pool {
+	return NewPoolPinned(workers, lockThreads, nil)
+}
+
+// NewPoolPinned is NewPool with a per-worker pinning hook: pin(w) runs on
+// worker w's goroutine (after the OS-thread lock when lockThreads is set)
+// before the worker serves its first phase. Used for real first-touch NUMA
+// placement, where the thread that zeroes a stripe must stay on the CPU
+// whose node should own the pages.
+func NewPoolPinned(workers int, lockThreads bool, pin func(workerID int)) *Pool {
 	if workers < 1 {
 		panic("sched: pool needs at least one worker")
 	}
@@ -82,6 +96,7 @@ func NewPool(workers int, lockThreads bool) *Pool {
 		busy:    make([]busyCell, workers),
 		counts:  make([]taskCounter, workers),
 		panics:  make(chan any, 1),
+		pin:     pin,
 	}
 	for w := 0; w < workers; w++ {
 		p.jobs[w] = make(chan phaseJob, 1)
@@ -94,11 +109,19 @@ func NewPool(workers int, lockThreads bool) *Pool {
 // Workers returns the number of workers in the pool.
 func (p *Pool) Workers() int { return p.workers }
 
+// Pinned reports whether the pool's workers run a CPU-affinity hook
+// (NewPoolPinned with a non-nil pin). Pool caches recycle pinned and
+// unpinned pools separately.
+func (p *Pool) Pinned() bool { return p.pin != nil }
+
 func (p *Pool) workerLoop(workerID int, lockThread bool) {
 	defer p.wg.Done()
 	if lockThread {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
+	}
+	if p.pin != nil {
+		p.pin(workerID)
 	}
 	for job := range p.jobs[workerID] {
 		start := time.Now()
@@ -162,6 +185,17 @@ func (p *Pool) run(tq *TaskQueues, steal bool, timings []time.Duration, body fun
 	if p.closed {
 		panic("sched: pool used after Close")
 	}
+	if p.workers == 1 {
+		// Solo fast path: run the phase on the caller's goroutine instead
+		// of a channel handoff + WaitGroup barrier per phase. On small
+		// fixtures a single-source BFS runs tens of phases totalling ~100µs,
+		// and two goroutine wakeups per phase were the dominant cost (the
+		// smspbfs/bit outlier in the committed trajectory). Accounting is
+		// identical to the worker path: busy time, task/steal counters, and
+		// the panic wrapper all behave as if worker 0 ran the phase.
+		p.runSolo(tq, timings, body)
+		return
+	}
 	p.done.Add(p.workers)
 	job := phaseJob{tq: tq, body: body, steal: steal, done: &p.done, timings: timings, panics: p.panics}
 	for w := 0; w < p.workers; w++ {
@@ -172,6 +206,40 @@ func (p *Pool) run(tq *TaskQueues, steal bool, timings []time.Duration, body fun
 	case r := <-p.panics:
 		panic(fmt.Sprintf("sched: worker panicked: %v", r))
 	default:
+	}
+}
+
+// runSolo executes one phase inline on the caller's goroutine. It uses the
+// general Fetch path so a multi-queue layout (stripe tasks) still drains
+// completely, and mirrors the worker loop's accounting and panic wrapping.
+func (p *Pool) runSolo(tq *TaskQueues, timings []time.Duration, body func(workerID int, r Range)) {
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(fmt.Sprintf("sched: worker panicked: %v", r))
+			}
+		}()
+		offsetHint := 0
+		ctr := &p.counts[0]
+		nq := tq.NumWorkers()
+		//bfs:hot solo fetch loop: one atomic fetch per task, must not allocate
+		for {
+			rg, ok := tq.Fetch(0, &offsetHint)
+			if !ok {
+				break
+			}
+			ctr.tasks.Add(1)
+			if offsetHint%nq != 0 {
+				ctr.steals.Add(1)
+			}
+			body(0, rg)
+		}
+	}()
+	elapsed := time.Since(start)
+	p.busy[0].d += elapsed
+	if timings != nil {
+		timings[0] = elapsed
 	}
 }
 

@@ -98,6 +98,45 @@ func CreateTasks(total, splitSize, numWorkers int) *TaskQueues {
 	return tq
 }
 
+// CreateStripeTasks builds stripe-affine task queues: worker w's queue
+// holds the splitSize chunks of its own contiguous stripe
+// [bounds[w], bounds[w+1]) instead of a round-robin deal over the whole
+// range. bounds must have one entry per worker plus a trailing total (the
+// shape numa.AlignedRanges produces). With this layout static fetch
+// (FetchLocal) confines every worker to its own stripe — the property the
+// worker-owned frontier merge and the first-touch placement rely on —
+// while work stealing still crosses stripes for load balance.
+func CreateStripeTasks(bounds []int, splitSize int) *TaskQueues {
+	if len(bounds) < 2 {
+		panic("sched: stripe bounds need at least one worker")
+	}
+	if splitSize < 1 {
+		panic("sched: splitSize must be positive")
+	}
+	numWorkers := len(bounds) - 1
+	tq := &TaskQueues{
+		queues:    make([]queue, numWorkers),
+		splitSize: splitSize,
+		total:     bounds[numWorkers],
+	}
+	for w := 0; w < numWorkers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo > hi || lo < 0 {
+			panic("sched: stripe bounds must be monotone")
+		}
+		n := (hi - lo + splitSize - 1) / splitSize
+		tq.queues[w].tasks = make([]Range, 0, n)
+		for off := lo; off < hi; off += splitSize {
+			end := off + splitSize
+			if end > hi {
+				end = hi
+			}
+			tq.queues[w].tasks = append(tq.queues[w].tasks, Range{Lo: off, Hi: end})
+		}
+	}
+	return tq
+}
+
 // NumWorkers returns the number of per-worker queues.
 func (tq *TaskQueues) NumWorkers() int { return len(tq.queues) }
 

@@ -93,6 +93,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request server-side timeout")
 		drainWait  = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
 		slowQuery  = flag.Duration("slow-query", server.DefaultSlowQuery, "latency above which a request enters the slow-query log and is logged")
+		statsTick  = flag.Duration("stats-interval", server.DefaultStatsInterval, "time-series sampler cadence behind /debug/stats and /debug/dash (needs -debug-addr)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		shardAddr  = flag.String("shard", "", "run as a cluster shard listening on this address (no -graph/-addr; see docs/CLUSTER.md)")
@@ -133,7 +134,7 @@ func main() {
 		FlushDeadline:  *flush,
 		MaxPending:     *maxPending,
 		RequestTimeout: *timeout,
-	}, *slowQuery, *drainWait); err != nil {
+	}, *slowQuery, *statsTick, *drainWait); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
@@ -185,7 +186,7 @@ func runShard(logger *slog.Logger, addr string, workers int) error {
 }
 
 func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string, shards []string,
-	dynamic bool, maxDelta int64, cfg server.Config, slowQuery, drainWait time.Duration) error {
+	dynamic bool, maxDelta int64, cfg server.Config, slowQuery, statsTick, drainWait time.Duration) error {
 	if len(graphs) == 0 {
 		return errors.New("no graphs to serve (pass at least one -graph NAME=SPEC)")
 	}
@@ -258,8 +259,12 @@ func run(logger *slog.Logger, graphs graphFlags, addr, debugAddr string, shards 
 				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
 			}
 		}()
+		// The time-series sampler only runs when something can read it:
+		// the dash and stats endpoints live on this debug listener.
+		stopStats := reg.StartStatsSampler(statsTick)
+		defer stopStats()
 		logger.Info("debug endpoints enabled", "addr", debugAddr,
-			"slow_query", slowQuery)
+			"slow_query", slowQuery, "stats_interval", statsTick)
 	}
 
 	select {

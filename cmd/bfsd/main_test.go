@@ -51,10 +51,10 @@ func TestGraphFlags(t *testing.T) {
 }
 
 func TestRunRequiresGraphs(t *testing.T) {
-	if err := run(testLogger(), graphFlags{}, ":0", "", nil, false, 0, server.Config{}, 0, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{}, ":0", "", nil, false, 0, server.Config{}, 0, time.Second, time.Second); err == nil {
 		t.Error("run with no graphs must fail")
 	}
-	if err := run(testLogger(), graphFlags{"g": "warp:n=1"}, ":0", "", nil, false, 0, server.Config{}, 0, time.Second); err == nil {
+	if err := run(testLogger(), graphFlags{"g": "warp:n=1"}, ":0", "", nil, false, 0, server.Config{}, 0, time.Second, time.Second); err == nil {
 		t.Error("run with a bad spec must fail")
 	}
 }
@@ -81,7 +81,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	go func() {
 		done <- run(testLogger(), graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
 			debugAddr, nil, false, 0, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
-			server.DefaultSlowQuery, 5*time.Second)
+			server.DefaultSlowQuery, time.Second, 5*time.Second)
 	}()
 
 	base := "http://" + addr
@@ -197,7 +197,7 @@ func TestRunClusterMode(t *testing.T) {
 	go func() {
 		done <- run(testLogger(), graphFlags{"demo": "uniform:n=500,degree=6,seed=1"}, addr,
 			"", []string{shardA, shardB}, false, 0, server.Config{Workers: 2, FlushDeadline: time.Millisecond},
-			server.DefaultSlowQuery, 5*time.Second)
+			server.DefaultSlowQuery, time.Second, 5*time.Second)
 	}()
 
 	base := "http://" + addr

@@ -38,6 +38,7 @@ func main() {
 		requests  = flag.Int("requests", 2000, "total requests across all clients")
 		kind      = flag.String("kind", "mixed", "query kind: bfs, closeness, reachability, khop, mixed")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		slowest   = flag.Int("slowest", 5, "report the trace ids of the N slowest successful requests (0: off; look them up in /debug/flightrecorder)")
 		// In-process server knobs (ignored with -addr).
 		workers    = flag.Int("workers", runtime.NumCPU(), "in-process server: traversal workers")
 		batchWords = flag.Int("batchwords", 1, "in-process server: bitset width in words")
@@ -79,6 +80,7 @@ func main() {
 		Requests: *requests,
 		Kind:     *kind,
 		Seed:     *seed,
+		Slowest:  *slowest,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfsload:", err)
@@ -96,6 +98,18 @@ type driveConfig struct {
 	Requests int
 	Kind     string
 	Seed     int64
+	Slowest  int
+}
+
+// slowReq is one entry of the slowest-N leaderboard: enough to find the
+// request again in the server's flight recorder (/debug/flightrecorder) or a
+// captured trace by its trace id.
+type slowReq struct {
+	Lat     time.Duration
+	TraceID uint64
+	Kind    string
+	Source  int
+	Width   int
 }
 
 // report aggregates one load run.
@@ -112,6 +126,8 @@ type report struct {
 	Latency    metrics.Histogram // ns, successful requests
 	Width      metrics.Histogram // batch width per successful request
 	WaitMicros metrics.Histogram
+	// Slowest holds the N slowest successful requests, slowest first.
+	Slowest []slowReq
 }
 
 // MeanBatchWidth is the achieved coalescing factor as observed by clients:
@@ -153,6 +169,31 @@ func (r *report) print(w io.Writer) {
 		r.WaitMicros.P50(), r.WaitMicros.P95())
 	fmt.Fprintf(w, "batch width: mean=%.1f p50=%d max=%d  (1.0 = no coalescing)\n",
 		r.MeanBatchWidth(), r.Width.P50(), r.Width.Max())
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(w, "slowest %d requests (find them in /debug/flightrecorder by trace_id):\n", len(r.Slowest))
+		for _, s := range r.Slowest {
+			fmt.Fprintf(w, "  %9v  trace_id=%d  kind=%s source=%d width=%d\n",
+				s.Lat.Round(time.Microsecond), s.TraceID, s.Kind, s.Source, s.Width)
+		}
+	}
+}
+
+// recordSlow inserts s into the slowest-first leaderboard, keeping at most
+// limit entries. Caller holds the report mutex.
+func (r *report) recordSlow(s slowReq, limit int) {
+	if limit <= 0 {
+		return
+	}
+	i := sort.Search(len(r.Slowest), func(i int) bool { return r.Slowest[i].Lat < s.Lat })
+	if i >= limit {
+		return
+	}
+	r.Slowest = append(r.Slowest, slowReq{})
+	copy(r.Slowest[i+1:], r.Slowest[i:])
+	r.Slowest[i] = s
+	if len(r.Slowest) > limit {
+		r.Slowest = r.Slowest[:limit]
+	}
 }
 
 // graphSize asks the server how many vertices the target graph has, so the
@@ -251,6 +292,15 @@ func drive(base string, cfg driveConfig) (*report, error) {
 				default:
 					rep.OK++
 				}
+				if err == nil && status == http.StatusOK {
+					rep.recordSlow(slowReq{
+						Lat:     lat,
+						TraceID: resp.TraceID,
+						Kind:    kind,
+						Source:  body["source"].(int),
+						Width:   resp.BatchWidth,
+					}, cfg.Slowest)
+				}
 				mu.Unlock()
 				if err == nil && status == http.StatusOK {
 					rep.Latency.RecordDuration(lat)
@@ -266,8 +316,9 @@ func drive(base string, cfg driveConfig) (*report, error) {
 }
 
 type queryResponse struct {
-	BatchWidth int   `json:"batch_width"`
-	WaitMicros int64 `json:"wait_us"`
+	BatchWidth int    `json:"batch_width"`
+	WaitMicros int64  `json:"wait_us"`
+	TraceID    uint64 `json:"trace_id"`
 }
 
 // post issues one query. retryAfter reports whether the response carried a

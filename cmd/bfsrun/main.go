@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	msbfs "repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -49,6 +52,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight record (setup spans + per-iteration detail) to this file")
 		traceText  = flag.Bool("tracetext", false, "print the flight record as a per-iteration text table after the run")
+		clusterN   = flag.Int("cluster", 0, "run the workload over an in-process N-shard loopback cluster instead of -algo; with -trace the export carries one track per shard (see docs/CLUSTER.md)")
 	)
 	flag.Parse()
 
@@ -116,7 +120,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	elapsed, iters, err := run(*algo, g, sources, opt, *sockets)
+	algoName := *algo
+	var elapsed time.Duration
+	var iters []metrics.IterationStat
+	if *clusterN > 0 {
+		algoName = fmt.Sprintf("cluster/%d-shards", *clusterN)
+		elapsed, iters, err = runCluster(g, sources, *clusterN, *workers, *batchWords, *iterstats, tracer)
+	} else {
+		elapsed, iters, err = run(*algo, g, sources, opt, *sockets)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
@@ -137,7 +149,7 @@ func main() {
 	}
 
 	edges := ec.EdgesForAll(sources)
-	fmt.Printf("algorithm: %s, %d sources, %d workers\n", *algo, len(sources), *workers)
+	fmt.Printf("algorithm: %s, %d sources, %d workers\n", algoName, len(sources), *workers)
 	fmt.Printf("elapsed:   %v (%.3f ms/source)\n",
 		elapsed.Round(time.Microsecond),
 		float64(elapsed)/float64(time.Millisecond)/float64(len(sources)))
@@ -181,6 +193,35 @@ func writeTraceFile(path string, tracer *obs.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runCluster executes the workload as sharded MS-PBFS traversals over an
+// in-process N-shard loopback cluster: the real wire protocol over TCP
+// loopback, one engine per shard. When tracing is on the coordinator's
+// trace id rides the msgStart frames and each shard ships per-step phase
+// timings back on its step replies, so the exported flight record carries
+// one clock-aligned track per shard next to the coordinator's.
+func runCluster(g *graph.Graph, sources []int, shards, workers, batchWords int,
+	iterstats bool, tracer *obs.Tracer) (time.Duration, []metrics.IterationStat, error) {
+	ctx := context.Background()
+	clu, err := cluster.StartInproc(ctx, shards,
+		cluster.ShardOptions{Workers: workers}, cluster.CoordinatorOptions{Tracer: tracer})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer clu.Close()
+	rg, err := clu.Coord.LoadGraph(ctx, "bfsrun",
+		msbfs.NewGraphFromAdjacency(g.Offsets, g.Adjacency), workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := rg.RunBatch(ctx, sources, msbfs.Options{
+		Workers: workers, BatchWords: batchWords, CollectIterStats: iterstats,
+	}, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Elapsed, res.Iterations, nil
 }
 
 func loadOrGenerate(path string, scale int, seed uint64) (*graph.Graph, error) {

@@ -156,6 +156,17 @@ func (rc *rpcConn) call(ctx context.Context, typ byte, payload []byte) ([]byte, 
 		case msgOK:
 			return rep.payload, nil
 		case msgErr:
+			if msg := string(rep.payload); msg == errShardClosing {
+				// The shard answered while shutting down; its connection
+				// is about to drop. Fail the conn now so this caller —
+				// and everyone racing the shutdown behind it — gets the
+				// sticky typed error instead of a transient rpcError.
+				rc.fail(fmt.Errorf("%w: %s: %s", ErrShardDown, rc.addr, msg))
+				rc.mu.Lock()
+				down := rc.down
+				rc.mu.Unlock()
+				return nil, down
+			}
 			return nil, &rpcError{msg: string(rep.payload)}
 		default:
 			return nil, fmt.Errorf("cluster: unexpected reply type %#02x from %s", rep.typ, rc.addr)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -97,12 +98,24 @@ func (c *Coordinator) fanOut(fn func(shard int) error) error {
 		}(s)
 	}
 	wg.Wait()
+	// A dead shard usually takes the survivors down with it indirectly
+	// (their barrier waits starve and time out). Prefer the typed
+	// root-cause error over whichever secondary failure happens to sit
+	// on a lower shard index, so callers racing a shard loss always see
+	// ErrShardDown.
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrShardDown) {
 			return err
 		}
+		if first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 // RemoteGraph is a graph loaded across the coordinator's shards. It
@@ -202,8 +215,18 @@ func (rg *RemoteGraph) runOne(ctx context.Context, batch []int, batchOffset int,
 	qid := c.nextID.Add(1)
 	k := len(batch)
 
+	// A traced coordinator announces its trace id on msgStart; the shards
+	// then measure every step and piggyback the sub-phase times on the
+	// reply. Untraced queries send a zero id, which encodeStart encodes as
+	// zero extra bytes — the shards never read the clock for them.
+	tv := c.tracer.StartTraversal("cluster/ms-pbfs", k)
+	var traceID uint64
+	if tv != nil {
+		traceID = tv.ID
+	}
+
 	if err := c.fanOut(func(s int) error {
-		_, err := c.call(ctx, s, msgStart, encodeStart(qid, rg.name, batch))
+		_, err := c.call(ctx, s, msgStart, encodeStart(qid, rg.name, batch, traceID))
 		return err
 	}); err != nil {
 		return err
@@ -223,14 +246,16 @@ func (rg *RemoteGraph) runOne(ctx context.Context, batch []int, batchOffset int,
 		})
 	}()
 
-	tv := c.tracer.StartTraversal("cluster/ms-pbfs", k)
-
 	// Level barrier. The sources seed level 0; iteration L discovers the
 	// level-L states. totalNext counts (vertex, source) states cluster-wide,
 	// the same accounting the in-process kernel's heuristic uses.
 	totalNext := int64(k)
 	var visited int64 = int64(k)
 	level := 0
+	var steps []obs.ShardStep // per-shard scratch, reused across levels
+	if traceID != 0 {
+		steps = make([]obs.ShardStep, len(c.conns))
+	}
 	for totalNext > 0 {
 		if opt.MaxDepth > 0 && level >= opt.MaxDepth {
 			break
@@ -241,6 +266,12 @@ func (rg *RemoteGraph) runOne(ctx context.Context, batch []int, batchOffset int,
 		var nextSum, sentSum, rawSum atomic.Int64
 		stepPayload := encodeQueryRef(qid, uint64(level))
 		if err := c.fanOut(func(s int) error {
+			// Each fanOut goroutine writes only its own steps[s] element.
+			var reqSent time.Time
+			if traceID != 0 {
+				steps[s] = obs.ShardStep{}
+				reqSent = time.Now()
+			}
 			out, err := c.call(ctx, s, msgStep, stepPayload)
 			if err != nil {
 				return err
@@ -252,9 +283,27 @@ func (rg *RemoteGraph) runOne(ctx context.Context, batch []int, batchOffset int,
 			nextSum.Add(d.nextStates)
 			sentSum.Add(d.sentBytes)
 			rawSum.Add(d.rawBytes)
+			if traceID != 0 && d.trace != nil {
+				steps[s] = obs.ShardStep{
+					Shard: s, Level: level,
+					ReqSent: reqSent, ReplyRecv: time.Now(),
+					Scan:       time.Duration(d.trace.scanNanos),
+					Encode:     time.Duration(d.trace.encodeNanos),
+					Send:       time.Duration(d.trace.sendNanos),
+					Wait:       time.Duration(d.trace.waitNanos),
+					Decode:     time.Duration(d.trace.decodeNanos),
+					Apply:      time.Duration(d.trace.applyNanos),
+					NextStates: d.nextStates, SentBytes: d.sentBytes, RawBytes: d.rawBytes,
+				}
+			}
 			return nil
 		}); err != nil {
 			return err
+		}
+		for _, st := range steps {
+			if !st.ReplyRecv.IsZero() {
+				tv.RecordShardStep(st)
+			}
 		}
 		totalNext = nextSum.Load()
 		visited += totalNext

@@ -2,16 +2,17 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/bits"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -37,6 +38,12 @@ type ShardOptions struct {
 	Workers int
 	// StepTimeout bounds the per-level barrier wait (0: DefaultStepTimeout).
 	StepTimeout time.Duration
+	// Tracer, when non-nil, keeps a shard-local flight record of every
+	// traced query (one Traversal per query with per-level iteration
+	// records). It only ever sees queries whose msgStart carried a trace
+	// id: shards trace when the coordinator asks, never on their own, so
+	// an untraced query costs nothing here regardless of this field.
+	Tracer *obs.Tracer
 }
 
 // Shard is one bfsd shard process: it owns a contiguous vertex slice of
@@ -103,6 +110,14 @@ type shardQuery struct {
 	expectDeltas int
 
 	counters []stepCounter
+
+	// traced is set when the coordinator's msgStart carried a trace id;
+	// every step then measures its sub-phases and piggybacks a stepTrace
+	// section on the reply. Untraced queries never read the clock.
+	traced bool
+	// tv is the shard-local flight record (nil unless the shard has its
+	// own Tracer AND the query is traced).
+	tv *obs.Traversal
 }
 
 // stepCounter is a per-worker new-state tally, cache-line padded like the
@@ -110,6 +125,15 @@ type shardQuery struct {
 type stepCounter struct {
 	v int64
 	_ [56]byte
+}
+
+// pendingDelta is one encoded peer delta awaiting its send: phase 2
+// encodes all deltas serially, then ships them concurrently.
+type pendingDelta struct {
+	peer     int
+	frame    []byte
+	encBytes int64
+	rawBytes int64
 }
 
 // NewShard creates an idle shard server with its own execution engine.
@@ -346,7 +370,7 @@ func (s *Shard) handleLoad(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("shard closed")
+		return errors.New(errShardClosing)
 	}
 	if s.id == -1 {
 		s.id = m.shardID
@@ -386,7 +410,7 @@ func (s *Shard) handleStart(payload []byte) error {
 	closed := s.closed
 	s.mu.Unlock()
 	if closed {
-		return fmt.Errorf("shard closed")
+		return errors.New(errShardClosing)
 	}
 	if g == nil {
 		return fmt.Errorf("graph %q not loaded", m.name)
@@ -405,9 +429,16 @@ func (s *Shard) handleStart(payload []byte) error {
 
 	q := &shardQuery{
 		g: g, k: k, words: words,
-		acc:   make([]*bitset.State, g.part.NumShards()),
-		accLo: make([]int, g.part.NumShards()),
-		inbox: make(chan *deltaMsg, g.part.NumShards()),
+		acc:    make([]*bitset.State, g.part.NumShards()),
+		accLo:  make([]int, g.part.NumShards()),
+		inbox:  make(chan *deltaMsg, g.part.NumShards()),
+		traced: m.traceID != 0,
+	}
+	if q.traced {
+		// StartTraversal is nil-safe: without a shard-local Tracer the
+		// query still measures and ships sub-phase times, it just keeps no
+		// local copy.
+		q.tv = s.opt.Tracer.StartTraversal("cluster/shard", k)
 	}
 	q.seen = s.eng.BorrowState(g.rlen, words) //bfs:arena-held query-lifetime state; handleEnd releases it
 	q.cur = s.eng.BorrowState(g.rlen, words)  //bfs:arena-held query-lifetime state; handleEnd releases it
@@ -462,7 +493,7 @@ func (s *Shard) handleStart(payload []byte) error {
 	var regErr error
 	switch {
 	case s.closed:
-		regErr = fmt.Errorf("shard closed")
+		regErr = errors.New(errShardClosing)
 	default:
 		if _, dup := s.queries[qid]; dup {
 			regErr = fmt.Errorf("query %d already started", qid)
@@ -492,6 +523,12 @@ func (s *Shard) getQuery(qid uint64) (*shardQuery, error) {
 // delta accumulators, stream the encoded deltas to the peers, absorb the
 // peers' inbound deltas, then apply: new = next &^ seen, fold into seen,
 // promote to the current frontier, record levels.
+//
+// When the query is traced each phase boundary stamps the monotonic clock
+// into a stepTrace that rides back on the reply; untraced queries take
+// the identical code path but never call time.Now — the tracing cost is
+// one nil test per phase boundary (the obs/nil-tracer-cluster perf
+// scenario gates this).
 func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 	r := &wireReader{b: payload}
 	qid, err := r.uvarint()
@@ -507,6 +544,14 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	g := q.g
+
+	var tr *stepTrace
+	var stepStart, mark time.Time
+	if q.traced {
+		tr = &stepTrace{}
+		stepStart = time.Now()
+		mark = stepStart
+	}
 
 	// Phase 1: local top-down scan. Frontier rows scatter local neighbors
 	// into the worker's private shadow slab with plain stores (worker 0
@@ -552,67 +597,99 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 			})
 		}
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.scanNanos = uint64(now.Sub(mark))
+		mark = now
+	}
 
-	// Phase 2: concurrent per-peer delta streams — every non-empty peer
-	// gets exactly one delta per level (empty deltas included, so the
-	// receiver's barrier count is deterministic). The sends run in
-	// parallel supervised goroutines: one slow peer link must not
-	// serialize the exchange behind another.
-	var sentBytes, rawTotal atomic.Int64
-	var sendMu sync.Mutex
-	var sendErr error
+	// Phase 2: per-peer delta streams — every non-empty peer gets exactly
+	// one delta per level (empty deltas included, so the receiver's
+	// barrier count is deterministic). The codec encodes serially (it is
+	// CPU work on this shard, and a serial pass gives the trace a clean
+	// encode|send split); the sends then run in parallel supervised
+	// goroutines, since one slow peer link must not serialize the exchange
+	// behind another.
+	var sends []pendingDelta
 	if g.rlen > 0 {
-		var wg sync.WaitGroup
 		for p := range q.acc {
 			if q.acc[p] == nil {
 				continue
 			}
+			a := q.acc[p]
+			plen := a.Len()
+			delta := encodeDelta(nil, a.Words(), plen, q.words)
+			a.ZeroRange(0, plen)
+			sends = append(sends, pendingDelta{
+				peer:     p,
+				frame:    encodeDelta32(&deltaMsg{fromShard: g.shardID, level: level, delta: delta}),
+				encBytes: int64(len(delta)),
+				rawBytes: int64(rawBytes(plen, q.words)),
+			})
+		}
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.encodeNanos = uint64(now.Sub(mark))
+		mark = now
+	}
+	var sentBytes, rawTotal int64
+	if len(sends) > 0 {
+		errs := make([]error, len(sends))
+		var wg sync.WaitGroup
+		for i := range sends {
 			wg.Add(1)
-			go func(p int) {
+			go func(i int) {
 				defer wg.Done()
-				a := q.acc[p]
-				plen := a.Len()
-				delta := encodeDelta(nil, a.Words(), plen, q.words)
-				a.ZeroRange(0, plen)
-				frame := encodeDelta32(&deltaMsg{fromShard: g.shardID, level: level, delta: delta})
-				if err := s.peerFor(p).send(qid, frame, s.opt.StepTimeout); err != nil {
-					sendMu.Lock()
-					if sendErr == nil {
-						sendErr = err
-					}
-					sendMu.Unlock()
-					return
-				}
-				sentBytes.Add(int64(len(delta)))
-				rawTotal.Add(int64(rawBytes(plen, q.words)))
-			}(p)
+				errs[i] = s.peerFor(sends[i].peer).send(qid, sends[i].frame, s.opt.StepTimeout)
+			}(i)
 		}
 		wg.Wait()
-		if sendErr != nil {
-			return nil, sendErr
+		for i, sendErr := range errs {
+			if sendErr != nil {
+				return nil, sendErr
+			}
+			sentBytes += sends[i].encBytes
+			rawTotal += sends[i].rawBytes
 		}
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.sendNanos = uint64(now.Sub(mark))
+		mark = now
 	}
 
 	// Phase 3: barrier — absorb one delta from every non-empty peer.
 	// Decoding ORs into next sequentially; the local scan has finished,
-	// so no CAS races the plain OR.
+	// so no CAS races the plain OR. Traced steps split the phase into
+	// blocked time (wait) and codec time (decode) per inbound delta.
 	if q.expectDeltas > 0 {
 		timer := time.NewTimer(s.opt.StepTimeout)
 		defer timer.Stop()
 		for got := 0; got < q.expectDeltas; got++ {
 			select {
 			case m := <-q.inbox:
+				if tr != nil {
+					now := time.Now()
+					tr.waitNanos += uint64(now.Sub(mark))
+					mark = now
+				}
 				if m.level != level {
 					return nil, fmt.Errorf("peer %d sent level %d during level %d", m.fromShard, m.level, level)
 				}
 				if err := decodeDelta(m.delta, q.next.Words(), g.rlen, q.words); err != nil {
 					return nil, err
 				}
+				if tr != nil {
+					now := time.Now()
+					tr.decodeNanos += uint64(now.Sub(mark))
+					mark = now
+				}
 			case <-timer.C:
 				return nil, fmt.Errorf("level %d barrier: %d of %d peer deltas after %v",
 					level, got, q.expectDeltas, s.opt.StepTimeout)
 			case <-s.closedCh:
-				return nil, fmt.Errorf("shard closed")
+				return nil, errors.New(errShardClosing)
 			}
 		}
 	}
@@ -651,11 +728,25 @@ func (s *Shard) handleStep(payload []byte) ([]byte, error) {
 			nextStates += q.counters[w].v
 		}
 	}
-	return encodeStepDone(stepDone{
+	d := stepDone{
 		nextStates: nextStates,
-		sentBytes:  sentBytes.Load(),
-		rawBytes:   rawTotal.Load(),
-	}), nil
+		sentBytes:  sentBytes,
+		rawBytes:   rawTotal,
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.applyNanos = uint64(now.Sub(mark))
+		d.trace = tr
+		q.tv.Record(obs.IterationRecord{
+			Iteration:        level,
+			Reason:           "cluster/shard-step",
+			Next:             nextStates,
+			Duration:         now.Sub(stepStart),
+			ExchangeBytes:    sentBytes,
+			ExchangeRawBytes: rawTotal,
+		})
+	}
+	return encodeStepDone(d), nil
 }
 
 func (s *Shard) peerFor(p int) *peerLink {
@@ -696,6 +787,9 @@ func (s *Shard) handleEnd(payload []byte) error {
 }
 
 func (s *Shard) releaseQuery(q *shardQuery) {
+	// Publish the shard-local flight record (nil-safe: tv is set only for
+	// traced queries on shards with their own Tracer).
+	q.tv.Finish(0, 0)
 	s.eng.ReturnState(q.seen)
 	s.eng.ReturnState(q.cur)
 	s.eng.ReturnState(q.next)

@@ -48,6 +48,13 @@ const maxFrame = 1 << 30
 
 const frameHeader = 1 + 8 // type + request id
 
+// errShardClosing is the msgErr text a shard replies with when a request
+// races its shutdown. The coordinator maps exactly this reply onto the
+// connection-failure path (ErrShardDown): the connection is about to
+// drop anyway, and callers must see the typed fail-fast error rather
+// than a transient-looking RPC error.
+const errShardClosing = "shard closed"
+
 // writeFrame sends one frame as a single Write call so concurrent writers
 // (serialized by the caller's mutex) never interleave partial frames.
 func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
@@ -243,19 +250,29 @@ func decodeLoad(payload []byte) (*loadMsg, error) {
 // are per-call, so the query id rides in the payload of every
 // query-scoped message), the target graph, and the batch's global source
 // vertices in slot order (slot i drives bit i of the k-wide state).
+//
+// traceID is an optional trailing field: a traced coordinator appends its
+// nonzero flight-record trace id and the shard answers every msgStep with
+// a piggybacked stepTrace section. An untraced coordinator appends
+// nothing, so the untraced encoding is byte-identical to the pre-tracing
+// wire format and old/new peers interoperate.
 type startMsg struct {
 	qid     uint64
 	name    string
 	sources []int
+	traceID uint64
 }
 
-func encodeStart(qid uint64, name string, sources []int) []byte {
-	dst := make([]byte, 0, len(name)+16+len(sources)*4)
+func encodeStart(qid uint64, name string, sources []int, traceID uint64) []byte {
+	dst := make([]byte, 0, len(name)+24+len(sources)*4)
 	dst = binary.AppendUvarint(dst, qid)
 	dst = appendStr(dst, name)
 	dst = binary.AppendUvarint(dst, uint64(len(sources)))
 	for _, s := range sources {
 		dst = binary.AppendUvarint(dst, uint64(s))
+	}
+	if traceID != 0 {
+		dst = binary.AppendUvarint(dst, traceID)
 	}
 	return dst
 }
@@ -280,6 +297,11 @@ func decodeStart(payload []byte) (*startMsg, error) {
 			return nil, err
 		}
 	}
+	if len(r.b) > 0 {
+		if m.traceID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
 	return m, r.done()
 }
 
@@ -297,17 +319,46 @@ func encodeQueryRef(qid uint64, extra ...uint64) []byte {
 // stepDone is the per-shard reply to msgStep: how many new (vertex,
 // source) states entered the shard's next frontier, and the exchange
 // volume the shard sent this level (encoded vs raw bitset bytes).
+//
+// trace is the optional piggybacked distributed-tracing section: when the
+// query's msgStart carried a trace id, the shard appends its sub-phase
+// wall times so the coordinator can reconstruct one clock-aligned
+// per-shard timeline. Untraced replies append nothing — the encoding is
+// byte-identical to the pre-tracing format.
 type stepDone struct {
 	nextStates int64
 	sentBytes  int64
 	rawBytes   int64
+	trace      *stepTrace
+}
+
+// stepTrace carries one step's sub-phase wall times, measured on the
+// shard's own monotonic clock (nanoseconds). Only durations cross the
+// wire: shard and coordinator clocks are not comparable, so absolute
+// placement happens coordinator-side from the RPC request/reply
+// timestamps it already owns.
+type stepTrace struct {
+	scanNanos   uint64 // phase 1: local frontier scan + shadow merge
+	encodeNanos uint64 // phase 2a: per-peer delta codec encode
+	sendNanos   uint64 // phase 2b: concurrent peer-link sends (wall)
+	waitNanos   uint64 // phase 3: barrier wait for inbound peer deltas
+	decodeNanos uint64 // phase 3: inbound delta decode + OR into next
+	applyNanos  uint64 // phase 4: next &^ seen fold + level recording
 }
 
 func encodeStepDone(d stepDone) []byte {
-	dst := make([]byte, 0, 3*binary.MaxVarintLen64)
+	dst := make([]byte, 0, 9*binary.MaxVarintLen64)
 	dst = binary.AppendUvarint(dst, uint64(d.nextStates))
 	dst = binary.AppendUvarint(dst, uint64(d.sentBytes))
 	dst = binary.AppendUvarint(dst, uint64(d.rawBytes))
+	if d.trace != nil {
+		dst = binary.AppendUvarint(dst, d.trace.scanNanos)
+		dst = binary.AppendUvarint(dst, d.trace.encodeNanos)
+		dst = binary.AppendUvarint(dst, d.trace.sendNanos)
+		dst = binary.AppendUvarint(dst, d.trace.waitNanos)
+		dst = binary.AppendUvarint(dst, d.trace.decodeNanos)
+		dst = binary.AppendUvarint(dst, d.trace.applyNanos)
+	}
 	return dst
 }
 
@@ -327,6 +378,16 @@ func decodeStepDone(payload []byte) (stepDone, error) {
 		return d, err
 	}
 	d.rawBytes = int64(v)
+	if len(r.b) > 0 {
+		tr := &stepTrace{}
+		for _, f := range []*uint64{&tr.scanNanos, &tr.encodeNanos, &tr.sendNanos,
+			&tr.waitNanos, &tr.decodeNanos, &tr.applyNanos} {
+			if *f, err = r.uvarint(); err != nil {
+				return d, err
+			}
+		}
+		d.trace = tr
+	}
 	return d, r.done()
 }
 

@@ -26,9 +26,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	msbfs "repro"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -142,6 +144,13 @@ type DynGraph struct {
 	compactions    atomic.Int64
 	retiredGens    atomic.Int64
 	pinnedNow      atomic.Int64
+
+	// genSeq numbers CSR generations (the seed CSR is generation 1); each
+	// compaction's span is stamped with the generation it produced.
+	genSeq atomic.Int64
+	// compactSeconds distributes full compaction wall times (build +
+	// republish, in ns), the /metrics bfsd_compaction_seconds histogram.
+	compactSeconds metrics.Histogram
 }
 
 // New wraps an immutable graph as version 1 of a dynamic one. The graph's
@@ -163,6 +172,7 @@ func New(g *msbfs.Graph, cfg Config) *DynGraph {
 		order:      []uint64{1},
 		compactedV: 1,
 	}
+	d.genSeq.Store(1)
 	if d.cfg.AutoCompact {
 		d.kick = make(chan struct{}, 1)
 		d.done = make(chan struct{})
@@ -442,6 +452,7 @@ func (d *DynGraph) Compact() (bool, error) {
 	logCopy := make([]logEdge, len(d.log))
 	copy(logCopy, d.log)
 	d.mu.Unlock()
+	compactStart := time.Now()
 
 	// Build the new CSR outside the lock: ingest continues concurrently,
 	// appending log entries with versions > horizon.
@@ -466,6 +477,8 @@ func (d *DynGraph) Compact() (bool, error) {
 		wrap: msbfs.NewGraphFromAdjacency(base.Offsets, base.Adjacency),
 		ar:   &arena{},
 	}
+	gen := d.genSeq.Add(1)
+	sp.Annotate(fmt.Sprintf("v%d, %d delta edges -> generation %d", horizon, len(logCopy), gen))
 	sp.End()
 
 	d.mu.Lock()
@@ -505,8 +518,17 @@ func (d *DynGraph) Compact() (bool, error) {
 	d.compactedV = horizon
 	d.compacting = false
 	d.compactions.Add(1)
+	d.compactSeconds.RecordDuration(time.Since(compactStart))
 	return true, nil
 }
+
+// CompactSeconds exposes the compaction wall-time histogram (ns values)
+// for the server's bfsd_compaction_seconds metric.
+func (d *DynGraph) CompactSeconds() *metrics.Histogram { return &d.compactSeconds }
+
+// Generation returns the current CSR generation number (the seed CSR is
+// generation 1; each compaction increments it).
+func (d *DynGraph) Generation() int64 { return d.genSeq.Load() }
 
 // Close stops the background compactor and fails all future operations
 // with ErrClosed. Outstanding snapshots stay valid until Released.

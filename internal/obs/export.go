@@ -107,17 +107,26 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-const chromePid = 1
+// Chrome pid layout: the tracer's own process renders as pid 1; a
+// cluster traversal's shards render as one synthetic process each at
+// pid shardPidBase+shard, so Perfetto draws one track group per shard.
+const (
+	chromePid    = 1
+	shardPidBase = 2
+)
 
 // WriteChromeTrace exports the snapshot in Chrome trace-event JSON.
 // Spans render on tid 0; each traversal gets its own tid carrying one
 // enclosing event plus one event per BFS iteration, with the direction
 // decision, frontier counts, and per-worker task/steal vectors in args.
+// Cluster traversals additionally render one process track per shard
+// (distinct pid), carrying that shard's clock-aligned step slices and
+// their scan/encode/send/wait/decode/apply sub-spans.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	snap := t.Snapshot()
 	events := []chromeEvent{
-		meta("process_name", 0, map[string]any{"name": "bfs"}),
-		meta("thread_name", 0, map[string]any{"name": "spans"}),
+		meta("process_name", chromePid, 0, map[string]any{"name": "bfs"}),
+		meta("thread_name", chromePid, 0, map[string]any{"name": "spans"}),
 	}
 	for _, s := range snap.Spans {
 		events = append(events, chromeEvent{
@@ -137,7 +146,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 func appendTraversalEvents(events []chromeEvent, tv *Traversal, origin time.Time) []chromeEvent {
 	tid := int64(tv.ID)
 	events = append(events,
-		meta("thread_name", tid, map[string]any{
+		meta("thread_name", chromePid, tid, map[string]any{
 			"name": fmt.Sprintf("traversal %d: %s", tv.ID, tv.Algo),
 		}),
 		chromeEvent{
@@ -193,11 +202,70 @@ func appendTraversalEvents(events []chromeEvent, tv *Traversal, origin time.Time
 		})
 		off += it.Duration
 	}
+	return appendShardStepEvents(events, tv, origin)
+}
+
+// appendShardStepEvents renders a cluster traversal's merged shard
+// records: per shard, one step slice per level at its clock-aligned
+// start, with the sub-phases laid back to back inside it. Communication
+// (rpc/*) vs computation (scan, apply) reads directly off the resulting
+// Perfetto tracks.
+func appendShardStepEvents(events []chromeEvent, tv *Traversal, origin time.Time) []chromeEvent {
+	tid := int64(tv.ID)
+	named := map[int]bool{}
+	for _, st := range tv.ShardSteps {
+		pid := shardPidBase + st.Shard
+		if !named[pid] {
+			named[pid] = true
+			events = append(events,
+				meta("process_name", pid, tid, map[string]any{
+					"name": fmt.Sprintf("shard %d", st.Shard),
+				}),
+				meta("thread_name", pid, tid, map[string]any{
+					"name": fmt.Sprintf("traversal %d steps", tv.ID),
+				}))
+		}
+		start := st.AlignedStart().Sub(origin)
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("L%d step", st.Level),
+			Cat:  "shard-step", Ph: "X",
+			Ts: micros(start), Dur: micros(st.ShardDuration()),
+			Pid: pid, Tid: tid,
+			Args: map[string]any{
+				"shard":       st.Shard,
+				"level":       st.Level,
+				"next_states": st.NextStates,
+				"sent_bytes":  st.SentBytes,
+				"raw_bytes":   st.RawBytes,
+				"rpc_us":      micros(st.ReplyRecv.Sub(st.ReqSent)),
+			},
+		})
+		off := start
+		for _, ph := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"scan", st.Scan},
+			{"rpc/encode", st.Encode},
+			{"rpc/send", st.Send},
+			{"rpc/wait", st.Wait},
+			{"rpc/decode", st.Decode},
+			{"rpc/apply", st.Apply},
+		} {
+			events = append(events, chromeEvent{
+				Name: ph.name, Cat: "shard-phase", Ph: "X",
+				Ts: micros(off), Dur: micros(ph.d),
+				Pid: pid, Tid: tid,
+				Args: map[string]any{"level": st.Level},
+			})
+			off += ph.d
+		}
+	}
 	return events
 }
 
-func meta(name string, tid int64, args map[string]any) chromeEvent {
-	return chromeEvent{Name: name, Ph: "M", Pid: chromePid, Tid: tid, Args: args}
+func meta(name string, pid int, tid int64, args map[string]any) chromeEvent {
+	return chromeEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args}
 }
 
 func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -119,6 +119,51 @@ func sumInt64(xs []int64) int64 {
 	return s
 }
 
+// ShardStep is one shard's slice of one cluster BFS level: the sub-phase
+// wall times the shard measured on its own clock, bracketed by the
+// coordinator-clock timestamps of the step RPC that carried them. Shard
+// and coordinator clocks are never compared directly — the coordinator
+// only ships durations over the wire and AlignedStart places them.
+type ShardStep struct {
+	Shard int `json:"shard"`
+	Level int `json:"level"`
+	// ReqSent and ReplyRecv bound the step RPC on the coordinator's
+	// clock; the shard's work is strictly inside this window.
+	ReqSent   time.Time `json:"req_sent"`
+	ReplyRecv time.Time `json:"reply_recv"`
+	// Sub-phase durations, measured on the shard: local frontier scan,
+	// delta encode, concurrent peer sends, barrier wait, inbound delta
+	// decode, and the next&^seen apply.
+	Scan   time.Duration `json:"scan_ns"`
+	Encode time.Duration `json:"encode_ns"`
+	Send   time.Duration `json:"send_ns"`
+	Wait   time.Duration `json:"wait_ns"`
+	Decode time.Duration `json:"decode_ns"`
+	Apply  time.Duration `json:"apply_ns"`
+	// NextStates, SentBytes and RawBytes mirror the step reply's
+	// counters for this shard alone (the coordinator's IterationRecord
+	// carries the cluster-wide sums).
+	NextStates int64 `json:"next_states"`
+	SentBytes  int64 `json:"sent_bytes,omitempty"`
+	RawBytes   int64 `json:"raw_bytes,omitempty"`
+}
+
+// ShardDuration sums the shard-measured sub-phases.
+func (st ShardStep) ShardDuration() time.Duration {
+	return st.Scan + st.Encode + st.Send + st.Wait + st.Decode + st.Apply
+}
+
+// AlignedStart maps the shard-clock step onto the coordinator clock:
+// the step is centered on the RPC's midpoint, the standard symmetric
+// one-way-delay assumption. Because the shard's work is a strict subset
+// of the RPC window, the aligned interval always nests inside
+// [ReqSent, ReplyRecv] — so per-shard tracks stay monotonic across
+// levels no matter how the two clocks drift.
+func (st ShardStep) AlignedStart() time.Time {
+	mid := st.ReqSent.Add(st.ReplyRecv.Sub(st.ReqSent) / 2)
+	return mid.Add(-st.ShardDuration() / 2)
+}
+
 // Traversal is the flight record of one BFS run. It is produced by a
 // single goroutine (the kernel driving the traversal) and published to
 // its Tracer on Finish; until then the Tracer does not see it.
@@ -142,6 +187,10 @@ type Traversal struct {
 	ArenaMisses uint64 `json:"arena_misses"`
 	// Iterations holds one record per BFS iteration, in order.
 	Iterations []IterationRecord `json:"iterations"`
+	// ShardSteps holds the merged multi-process records of a cluster
+	// traversal: one entry per (level, shard), appended level by level by
+	// the coordinator. Empty for single-process traversals.
+	ShardSteps []ShardStep `json:"shard_steps,omitempty"`
 
 	t                    *Tracer
 	baseHits, baseMisses uint64
@@ -163,6 +212,15 @@ func (tr *Traversal) Record(rec IterationRecord) {
 		return
 	}
 	tr.Iterations = append(tr.Iterations, rec)
+}
+
+// RecordShardStep appends one shard's step record. Nil-safe no-op. Must
+// be called from the traversal's own goroutine (it is not synchronized).
+func (tr *Traversal) RecordShardStep(st ShardStep) {
+	if tr == nil {
+		return
+	}
+	tr.ShardSteps = append(tr.ShardSteps, st)
 }
 
 // Finish stamps the end time, computes arena deltas against the base
@@ -190,6 +248,16 @@ type Span struct {
 type SpanHandle struct {
 	t *Tracer
 	s Span
+}
+
+// Annotate replaces the span's detail with the outcome known only once
+// the work ran (e.g. the generation number a compaction produced).
+// Nil-safe no-op; call before End.
+func (h *SpanHandle) Annotate(detail string) {
+	if h == nil {
+		return
+	}
+	h.s.Detail = detail
 }
 
 // End completes the span and publishes it to the tracer. Nil-safe no-op.

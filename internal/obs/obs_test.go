@@ -226,3 +226,76 @@ func TestWriteText(t *testing.T) {
 		}
 	}
 }
+
+// TestChromeTraceShardTracks checks the multi-process merge: shard step
+// records export as their own pid tracks (one per shard, distinct from
+// the coordinator's pid 1) named "shard N", with the six RPC sub-spans
+// nested inside every step slice.
+func TestChromeTraceShardTracks(t *testing.T) {
+	tr := NewTracer()
+	tv := tr.StartTraversal("cluster/ms-pbfs", 4)
+	base := time.Now()
+	for level := 0; level < 2; level++ {
+		for shard := 0; shard < 2; shard++ {
+			sent := base.Add(time.Duration(level) * 10 * time.Millisecond)
+			tv.RecordShardStep(ShardStep{
+				Shard: shard, Level: level,
+				ReqSent: sent, ReplyRecv: sent.Add(8 * time.Millisecond),
+				Scan: time.Millisecond, Encode: 100 * time.Microsecond,
+				Send: 200 * time.Microsecond, Wait: 2 * time.Millisecond,
+				Decode: 300 * time.Microsecond, Apply: 400 * time.Microsecond,
+				NextStates: 17,
+			})
+		}
+	}
+	tv.Finish(0, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	shardPids := map[int]string{} // pid -> process_name
+	steps := map[int]int{}        // pid -> step slice count
+	subSpans := map[string]int{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" && ev.Pid != chromePid {
+			shardPids[ev.Pid], _ = ev.Args["name"].(string)
+		}
+		switch ev.Cat {
+		case "shard-step":
+			steps[ev.Pid]++
+		case "shard-phase":
+			subSpans[ev.Name]++
+		}
+	}
+	if len(shardPids) != 2 {
+		t.Fatalf("shard process tracks = %v, want 2", shardPids)
+	}
+	for shard := 0; shard < 2; shard++ {
+		pid := shardPidBase + shard
+		if name := shardPids[pid]; name != fmt.Sprintf("shard %d", shard) {
+			t.Errorf("pid %d process_name = %q, want %q", pid, name, fmt.Sprintf("shard %d", shard))
+		}
+		if steps[pid] != 2 {
+			t.Errorf("pid %d has %d step slices, want 2", pid, steps[pid])
+		}
+	}
+	for _, want := range []string{"scan", "rpc/encode", "rpc/send", "rpc/wait", "rpc/decode", "rpc/apply"} {
+		if subSpans[want] != 4 {
+			t.Errorf("sub-span %q appears %d times, want 4", want, subSpans[want])
+		}
+	}
+}

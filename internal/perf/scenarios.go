@@ -299,6 +299,27 @@ func runClusterInproc(e *suiteEnv) Sample {
 	return Sample{Elapsed: elapsed, Work: e.counter.EdgesForAll(e.sources)}
 }
 
+// runObsNilTracerCluster is cluster/inproc measured as the cluster-side
+// tracing acceptance gate: the fixture coordinator has no tracer, so the
+// msgStart frames carry no trace id, the shards take the untraced step
+// path (no clock reads, no trailing reply bytes), and the wire payloads
+// are byte-identical to the pre-tracing protocol. Its tight Threshold
+// (vs cluster/inproc's wide one) is what catches trace plumbing leaking
+// onto the dormant path.
+func runObsNilTracerCluster(e *suiteEnv) Sample {
+	start := time.Now()
+	_, err := e.cluRG.RunBatch(context.Background(), e.sources,
+		msbfs.Options{Workers: e.cfg.Workers, BatchWords: 1}, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("perf: obs/nil-tracer-cluster: %v", err))
+	}
+	// Same untimed cleanup as cluster/inproc: the exchange's wire frames
+	// and level rows must not become the next scenario's GC debt.
+	runtime.GC()
+	return Sample{Elapsed: elapsed, Work: e.counter.EdgesForAll(e.sources)}
+}
+
 // runDynOverlayScan is mspbfs/auto with a resident delta overlay — the
 // dynamic-graph serving path, where a snapshot's uncompacted overflow
 // adjacency rides along with every scan. Its delta against mspbfs/auto is

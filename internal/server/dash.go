@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// defaultStatsWindow bounds /debug/stats and /debug/dash responses when
+// no ?window= is given: the last five minutes, well inside the store's
+// ring capacity at the default 1s cadence.
+const defaultStatsWindow = 5 * time.Minute
+
+func statsWindow(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("window")
+	if raw == "" {
+		return defaultStatsWindow, nil
+	}
+	w, err := time.ParseDuration(raw)
+	if err != nil || w <= 0 {
+		return 0, fmt.Errorf("bad window %q (want a positive Go duration, e.g. 30s)", raw)
+	}
+	return w, nil
+}
+
+// statsPayload is the GET /debug/stats response shape.
+type statsPayload struct {
+	Window string           `json:"window"`
+	Now    time.Time        `json:"now"`
+	Series []obs.SeriesData `json:"series"`
+}
+
+func (d *DebugHandler) stats(w http.ResponseWriter, r *http.Request) {
+	window, err := statsWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now()
+	writeJSON(w, http.StatusOK, statsPayload{
+		Window: window.String(),
+		Now:    now,
+		Series: d.reg.StatsSeries().Snapshot(window, now),
+	})
+}
+
+// dash renders the self-contained HTML dashboard: one server-side SVG
+// sparkline per series, no external assets or scripts — just a meta
+// refresh, so it works from any browser that can reach the debug
+// listener.
+func (d *DebugHandler) dash(w http.ResponseWriter, r *http.Request) {
+	window, err := statsWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now()
+	series := d.reg.StatsSeries().Snapshot(window, now)
+
+	var b strings.Builder
+	b.WriteString(`<!doctype html><html><head><meta charset="utf-8">` +
+		`<meta http-equiv="refresh" content="2">` +
+		`<title>bfsd dash</title><style>` +
+		`body{font:13px ui-monospace,monospace;background:#111;color:#ddd;margin:1.5em}` +
+		`h1{font-size:15px}table{border-collapse:collapse}` +
+		`td{padding:2px 10px 2px 0;vertical-align:middle;white-space:nowrap}` +
+		`.v{color:#8c8;text-align:right}.r{color:#888;text-align:right}` +
+		`svg{display:block}polyline{fill:none;stroke:#6ae;stroke-width:1.25}` +
+		`</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>bfsd time-series — window %s — %s</h1>",
+		html.EscapeString(window.String()), now.Format(time.RFC3339))
+	if len(series) == 0 {
+		b.WriteString("<p>no samples yet (is the stats sampler running?)</p>")
+	}
+	b.WriteString("<table>")
+	for _, s := range series {
+		last, lo, hi := seriesBounds(s.Points)
+		fmt.Fprintf(&b, `<tr><td>%s</td><td>%s</td><td class="v">%s</td><td class="r">min %s · max %s · %d pts</td></tr>`,
+			html.EscapeString(s.Name), sparklineSVG(s.Points, 220, 28),
+			fmtStat(last), fmtStat(lo), fmtStat(hi), len(s.Points))
+	}
+	b.WriteString("</table></body></html>")
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func seriesBounds(pts []obs.TSPoint) (last, lo, hi float64) {
+	if len(pts) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	return pts[len(pts)-1].V, lo, hi
+}
+
+// sparklineSVG renders the points as one inline SVG polyline, scaled to
+// the value range (a flat series draws a centered line).
+func sparklineSVG(pts []obs.TSPoint, w, h int) string {
+	if len(pts) == 0 {
+		return fmt.Sprintf(`<svg width="%d" height="%d"></svg>`, w, h)
+	}
+	_, lo, hi := seriesBounds(pts)
+	span := hi - lo
+	var coords strings.Builder
+	for i, p := range pts {
+		x := float64(w-2)*float64(i)/math.Max(1, float64(len(pts)-1)) + 1
+		y := float64(h) / 2
+		if span > 0 {
+			y = float64(h-2)*(1-(p.V-lo)/span) + 1
+		}
+		if i > 0 {
+			coords.WriteByte(' ')
+		}
+		fmt.Fprintf(&coords, "%.1f,%.1f", x, y)
+	}
+	return fmt.Sprintf(`<svg width="%d" height="%d" viewBox="0 0 %d %d"><polyline points="%s"/></svg>`,
+		w, h, w, h, coords.String())
+}
+
+// fmtStat renders a sample value compactly: SI-ish precision without
+// trailing noise.
+func fmtStat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	case av >= 1 || av == 0:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -20,6 +20,8 @@ import (
 //	GET  /debug/pprof/profile     CPU profile
 //	GET  /debug/pprof/trace       runtime execution trace (seconds=N)
 //	GET  /debug/flightrecorder    recent requests + slow-query log + spans
+//	GET  /debug/stats             time-series store snapshot (?window=30s)
+//	GET  /debug/dash              self-contained live sparkline dashboard
 //	POST /debug/rtrace/start      start an open-ended runtime/trace capture
 //	POST /debug/rtrace/stop       stop it and download the trace binary
 //
@@ -45,6 +47,8 @@ func NewDebugHandler(reg *Registry) *DebugHandler {
 	d.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	d.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	d.mux.HandleFunc("GET /debug/flightrecorder", d.flightRecorder)
+	d.mux.HandleFunc("GET /debug/stats", d.stats)
+	d.mux.HandleFunc("GET /debug/dash", d.dash)
 	d.mux.HandleFunc("POST /debug/rtrace/start", d.rtraceStart)
 	d.mux.HandleFunc("POST /debug/rtrace/stop", d.rtraceStop)
 	return d

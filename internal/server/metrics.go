@@ -106,8 +106,9 @@ func (m *Metrics) writeTo(w io.Writer, graph string, queueDepth int) {
 }
 
 // writeDynTo renders a dynamic graph's ingest/versioning gauges and
-// counters next to the graph's serving metrics.
-func writeDynTo(w io.Writer, graph string, st dyngraphStats) {
+// counters next to the graph's serving metrics. compact distributes the
+// full compaction wall times (ns values, rendered as seconds).
+func writeDynTo(w io.Writer, graph string, st dyngraphStats, compact *metrics.Histogram) {
 	l := fmt.Sprintf("{graph=%q}", graph)
 	fmt.Fprintf(w, "bfsd_graph_version%s %d\n", l, st.Version)
 	fmt.Fprintf(w, "bfsd_ingest_batches_total%s %d\n", l, st.IngestBatches)
@@ -118,6 +119,19 @@ func writeDynTo(w io.Writer, graph string, st dyngraphStats) {
 	fmt.Fprintf(w, "bfsd_ingest_retained_versions%s %d\n", l, st.RetainedViews)
 	fmt.Fprintf(w, "bfsd_compactions_total%s %d\n", l, st.Compactions)
 	fmt.Fprintf(w, "bfsd_retired_generations_total%s %d\n", l, st.RetiredGens)
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{
+		{"p50", compact.P50()},
+		{"p95", compact.P95()},
+		{"p99", compact.P99()},
+		{"max", compact.Max()},
+	} {
+		fmt.Fprintf(w, "bfsd_compaction_seconds{graph=%q,quantile=%q} %.6f\n",
+			graph, q.name, time.Duration(q.v).Seconds())
+	}
+	fmt.Fprintf(w, "bfsd_compaction_seconds_count%s %d\n", l, compact.Count())
 }
 
 // writeEngineTo renders the daemon engine's pool/arena occupancy gauges

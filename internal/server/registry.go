@@ -127,6 +127,9 @@ type Registry struct {
 	rec    *FlightRecorder
 	tracer *obs.Tracer
 	logger *slog.Logger
+	// stats is the time-series store behind /debug/stats and /debug/dash;
+	// it stays empty until StartStatsSampler feeds it.
+	stats *obs.TimeSeries
 }
 
 // NewRegistry returns an empty registry with a fresh per-daemon engine,
@@ -137,6 +140,7 @@ func NewRegistry() *Registry {
 		eng:    msbfs.NewEngine(msbfs.Options{}),
 		rec:    NewFlightRecorder(0, 0, 0),
 		tracer: obs.NewTracer(),
+		stats:  obs.NewTimeSeries(0),
 	}
 }
 

@@ -312,7 +312,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 			e.ClusterMet.WriteTo(w, name)
 		}
 		if e.Dyn != nil {
-			writeDynTo(w, name, e.Dyn.Stats())
+			writeDynTo(w, name, e.Dyn.Stats(), e.Dyn.CompactSeconds())
 		}
 	}
 	writeEngineTo(w, s.reg.EngineStats())

@@ -1,13 +1,19 @@
 #!/bin/sh
 # obs_smoke.sh — end-to-end smoke test of the observability surface.
 #
-# Exercises the three export paths wired in this repo:
+# Exercises the export paths wired in this repo:
 #   1. bfsd with -debug-addr: /debug/pprof/heap and /debug/flightrecorder
 #      must serve after a query, and the flight record must carry trace ids.
+#      The time-series sampler must populate /debug/stats and render live
+#      sparklines on /debug/dash.
 #   2. bfsd without -debug-addr: the debug surface must NOT be reachable on
 #      the main listener (off by default).
 #   3. bfsrun -trace: the Chrome trace-event JSON must validate (tracecheck)
 #      and contain the csr-build span plus at least one traversal.
+#   4. bfsrun -cluster -trace: a traced in-process 2-shard cluster query
+#      must export one merged multi-process trace that passes the extended
+#      tracecheck (-shards: distinct shard pid tracks, clock-aligned steps,
+#      RPC sub-spans).
 #
 # Run from the repo root: ./scripts/obs_smoke.sh
 set -eu
@@ -48,7 +54,7 @@ go build -o "$TMP/tracecheck" ./scripts/tracecheck
 
 echo "== bfsd with -debug-addr"
 "$TMP/bfsd" -graph demo=kron:scale=10 -addr "$ADDR" -debug-addr "$DEBUG" \
-	-slow-query 1us >"$TMP/bfsd.log" 2>&1 &
+	-slow-query 1us -stats-interval 100ms >"$TMP/bfsd.log" 2>&1 &
 BFSD_PID=$!
 wait_listen "http://$ADDR/graphs"
 
@@ -77,6 +83,25 @@ grep -q '"graph-build"' "$TMP/flight.json" || {
 	exit 1
 }
 
+# Give the 100ms stats sampler a few ticks, then the time-series store
+# must serve windowed samples and the dashboard must render sparklines.
+sleep 0.5
+fetch "http://$DEBUG/debug/stats?window=30s" >"$TMP/stats.json"
+grep -q '"demo/req_rate"' "$TMP/stats.json" || {
+	echo "obs_smoke: /debug/stats has no demo/req_rate series" >&2
+	cat "$TMP/stats.json" >&2
+	exit 1
+}
+fetch "http://$DEBUG/debug/dash" >"$TMP/dash.html"
+grep -q '<polyline points=' "$TMP/dash.html" || {
+	echo "obs_smoke: /debug/dash rendered no sparkline polylines" >&2
+	exit 1
+}
+grep -q 'demo/gteps' "$TMP/dash.html" || {
+	echo "obs_smoke: /debug/dash is missing the demo/gteps row" >&2
+	exit 1
+}
+
 # The debug surface must not leak onto the main listener.
 code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 "http://$ADDR/debug/pprof/heap")
 if [ "$code" = "200" ]; then
@@ -93,5 +118,9 @@ echo "== bfsd without -debug-addr stays dark (verified above: main addr refused 
 echo "== bfsrun -trace"
 "$TMP/bfsrun" -scale 10 -algo mspbfs -sources 8 -trace "$TMP/trace.json" >/dev/null
 "$TMP/tracecheck" -require csr-build,relabel "$TMP/trace.json"
+
+echo "== bfsrun -cluster -trace (merged multi-process trace)"
+"$TMP/bfsrun" -scale 10 -sources 8 -cluster 2 -trace "$TMP/cluster-trace.json" >/dev/null
+"$TMP/tracecheck" -shards 2 -require csr-build "$TMP/cluster-trace.json"
 
 echo "obs_smoke: ok"

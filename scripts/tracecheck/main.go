@@ -5,9 +5,16 @@
 // event must carry the fields the trace viewers require, and any event
 // names passed via -require must be present.
 //
+// With -shards N it additionally validates the multi-process merge of a
+// traced cluster query (`bfsrun -cluster N -trace`): N distinct shard pid
+// tracks with "shard" process names, per-track step slices that are
+// clock-aligned (monotonic, non-overlapping), and the RPC sub-spans the
+// shard-side tracer must emit under every step.
+//
 // Usage:
 //
 //	tracecheck -require csr-build,traversal trace.json
+//	tracecheck -shards 4 cluster-trace.json
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -23,6 +31,7 @@ import (
 type traceEvent struct {
 	Name  string          `json:"name"`
 	Phase string          `json:"ph"`
+	Cat   string          `json:"cat"`
 	PID   *int            `json:"pid"`
 	TID   *int            `json:"tid"`
 	TS    *float64        `json:"ts"`
@@ -37,19 +46,20 @@ type traceFile struct {
 
 func main() {
 	require := flag.String("require", "", "comma-separated event names that must appear")
+	shards := flag.Int("shards", 0, "validate a merged cluster trace with this many shard tracks")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require a,b] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require a,b] [-shards n] trace.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *require); err != nil {
+	if err := check(flag.Arg(0), *require, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
 	fmt.Println("tracecheck: ok")
 }
 
-func check(path, require string) error {
+func check(path, require string, shards int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -95,7 +105,81 @@ func check(path, require string) error {
 			}
 		}
 	}
+	if shards > 0 {
+		if err := checkShards(path, tf, shards); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("%s: %d events (%d complete), displayTimeUnit=%q\n",
 		path, len(tf.TraceEvents), complete, tf.DisplayTimeUnit)
+	return nil
+}
+
+// rpcSubSpans are the per-step phase slices every shard track must carry
+// (nested under each "L<n> step" slice by the exporter).
+var rpcSubSpans = []string{"rpc/encode", "rpc/send", "rpc/decode", "rpc/apply"}
+
+// checkShards validates the multi-process merge of a traced cluster
+// query: want distinct shard pids beyond the coordinator's, each named
+// "shard ..." by a process_name meta, each with clock-aligned step slices
+// (strictly increasing, non-overlapping within the track) and the RPC
+// sub-spans present.
+func checkShards(path string, tf traceFile, want int) error {
+	procName := map[int]string{}
+	type slice struct{ ts, dur float64 }
+	steps := map[int][]slice{}
+	subSpans := map[int]map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		pid := *ev.PID
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			_ = json.Unmarshal(ev.Args, &args)
+			procName[pid] = args.Name
+		}
+		switch ev.Cat {
+		case "shard-step":
+			steps[pid] = append(steps[pid], slice{*ev.TS, *ev.Dur})
+		case "shard-phase":
+			if subSpans[pid] == nil {
+				subSpans[pid] = map[string]int{}
+			}
+			subSpans[pid][ev.Name]++
+		}
+	}
+	var shardPids []int
+	for pid, name := range procName {
+		if strings.HasPrefix(name, "shard") {
+			shardPids = append(shardPids, pid)
+		}
+	}
+	sort.Ints(shardPids)
+	if len(shardPids) < want {
+		return fmt.Errorf("%s: %d shard process tracks, want %d", path, len(shardPids), want)
+	}
+	for _, pid := range shardPids {
+		track := steps[pid]
+		if len(track) == 0 {
+			return fmt.Errorf("%s: shard track pid=%d (%s) has no step slices", path, pid, procName[pid])
+		}
+		// The exporter appends steps level by level; the aligned clocks
+		// must keep them monotonic and non-overlapping per track.
+		for i := 1; i < len(track); i++ {
+			if track[i].ts < track[i-1].ts {
+				return fmt.Errorf("%s: pid=%d step %d starts at %.1fus, before step %d at %.1fus (clock alignment broken)",
+					path, pid, i, track[i].ts, i-1, track[i-1].ts)
+			}
+			if track[i].ts < track[i-1].ts+track[i-1].dur {
+				return fmt.Errorf("%s: pid=%d step %d overlaps step %d", path, pid, i, i-1)
+			}
+		}
+		for _, name := range rpcSubSpans {
+			if subSpans[pid][name] == 0 {
+				return fmt.Errorf("%s: pid=%d (%s) is missing sub-span %q", path, pid, procName[pid], name)
+			}
+		}
+	}
+	fmt.Printf("%s: %d shard tracks, clock-aligned\n", path, len(shardPids))
 	return nil
 }
